@@ -1,0 +1,53 @@
+"""Ablation: task granularity for AlexNet-sparse (why batch 128?).
+
+The paper batches 128 images per task for the sparse variant "since the
+sparse variant has a significantly lower per-image compute cost"
+(section 4.1).  This ablation sweeps the batch size and measures
+per-image latency of the deployed pipeline: small batches drown in
+per-stage dispatch overhead; large batches amortize it with diminishing
+returns (at growing memory cost, which the sweep also reports).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import build_alexnet_sparse
+from repro.core.framework import BetterTogether
+from repro.runtime import estimate_pipeline_memory
+from repro.soc import get_platform
+
+BATCHES = (8, 32, 128, 256)
+
+
+def test_batch_size_granularity(benchmark):
+    platform = get_platform("pixel7a")
+
+    def sweep():
+        outcomes = {}
+        for batch in BATCHES:
+            application = build_alexnet_sparse(batch=batch)
+            plan = BetterTogether(platform, repetitions=5, k=8,
+                                  eval_tasks=10).run(application)
+            per_image = plan.measured_latency_s / batch
+            depth = len(plan.schedule.chunks()) + 1
+            memory = estimate_pipeline_memory(application, depth)
+            outcomes[batch] = (per_image, memory.total_mib)
+        return outcomes
+
+    outcomes = run_once(benchmark, sweep)
+    print("\nbatch -> per-image latency, pipeline memory:")
+    for batch, (per_image, mib) in sorted(outcomes.items()):
+        print(f"  B={batch:3d}: {per_image * 1e6:8.1f} us/image, "
+              f"{mib:7.1f} MiB")
+
+    # Amortization: per-image latency improves monotonically with batch.
+    per_image = {b: outcomes[b][0] for b in BATCHES}
+    assert per_image[32] < per_image[8]
+    assert per_image[128] < per_image[32]
+    # Diminishing returns by the paper's choice of 128: doubling again
+    # buys comparatively little.
+    gain_32_to_128 = per_image[32] / per_image[128]
+    gain_128_to_256 = per_image[128] / per_image[256]
+    assert gain_32_to_128 > gain_128_to_256
+    # Memory grows ~linearly with batch.
+    assert outcomes[256][1] > 3 * outcomes[32][1]

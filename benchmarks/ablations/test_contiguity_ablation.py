@@ -1,0 +1,49 @@
+"""Ablation: what the contiguity constraint (C2) costs in model terms.
+
+C2 exists because the implementer runs one dispatcher per chunk and each
+PU hosts one chunk; without it, the model could split a PU's stages into
+multiple fragments.  We compare the best contiguous predicted latency
+against a relaxed lower bound (each stage independently on its fastest
+PU, chunked greedily) to quantify the modeling gap the constraint
+accepts in exchange for an executable pipeline.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import build_octree_application
+from repro.core.optimizer import BTOptimizer
+from repro.core.profiler import BTProfiler
+from repro.soc import get_platform
+
+
+def test_contiguity_cost_is_bounded(benchmark):
+    platform = get_platform("pixel7a")
+    application = build_octree_application()
+    table = BTProfiler(platform, repetitions=10).profile(application)
+    restricted = table.restricted(platform.schedulable_classes())
+
+    def ablate():
+        contiguous = BTOptimizer(application, restricted, k=1).optimize()
+        # Relaxed lower bound on ANY (even non-contiguous, even
+        # fractional) assignment's bottleneck: no PU can beat the
+        # fastest single stage it must host, and the total best-case
+        # work spread perfectly over all M PUs.
+        pus = restricted.pu_classes
+        per_stage_best = [
+            min(restricted.latency(stage, pu) for pu in pus)
+            for stage in application.stage_names
+        ]
+        relaxed = max(max(per_stage_best),
+                      sum(per_stage_best) / len(pus))
+        return contiguous.best.predicted_latency_s, relaxed
+
+    contiguous_latency, relaxed_bound = run_once(benchmark, ablate)
+    print(f"\ncontiguous best: {contiguous_latency * 1e3:.3f} ms, "
+          f"relaxed (non-contiguous) bound: {relaxed_bound * 1e3:.3f} ms, "
+          f"ratio {contiguous_latency / relaxed_bound:.2f}x")
+    # Contiguity can never beat the relaxation...
+    assert contiguous_latency >= relaxed_bound * 0.999
+    # ...but on the evaluated pipelines it costs well under 2x, which is
+    # why the paper accepts it for its much simpler runtime.
+    assert contiguous_latency < 2.0 * relaxed_bound

@@ -1,0 +1,86 @@
+"""Ablation (extension): the energy/latency frontier of the candidates.
+
+The paper motivates edge processing with energy but only optimizes
+latency.  With the energy model (repro.soc.energy) we can ask what that
+leaves on the table: across the K candidates, how different are the
+latency-best and energy-best schedules, and what does the Jetson's 7 W
+mode actually buy per task?
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import build_octree_application
+from repro.core.framework import BetterTogether
+from repro.runtime import SimulatedPipelineExecutor
+from repro.soc import estimate_energy, get_platform
+
+
+def candidate_energy_frontier(application, platform, optimization,
+                              n_tasks=20):
+    """(latency, energy/task) for every candidate schedule."""
+    points = []
+    for candidate in optimization.candidates:
+        executor = SimulatedPipelineExecutor(
+            application, candidate.schedule.chunks(), platform
+        )
+        result = executor.run(n_tasks)
+        report = estimate_energy(result, platform)
+        points.append(
+            (candidate, result.steady_interval_s, report.per_task_j)
+        )
+    return points
+
+
+def test_energy_latency_frontier(benchmark):
+    platform = get_platform("pixel7a")
+    application = build_octree_application()
+    framework = BetterTogether(platform, repetitions=10, k=15,
+                               eval_tasks=15)
+    table = framework.profile(application)
+    optimization = framework.optimize(application, table)
+
+    points = run_once(
+        benchmark, candidate_energy_frontier,
+        application, platform, optimization,
+    )
+    latency_best = min(points, key=lambda p: p[1])
+    energy_best = min(points, key=lambda p: p[2])
+    print("\nlatency-best:", latency_best[0].schedule,
+          f"{latency_best[1] * 1e3:.3f} ms, {latency_best[2] * 1e3:.2f} mJ/task")
+    print("energy-best: ", energy_best[0].schedule,
+          f"{energy_best[1] * 1e3:.3f} ms, {energy_best[2] * 1e3:.2f} mJ/task")
+
+    # The frontier is non-trivial: optimizing latency alone is not
+    # optimizing energy.
+    assert energy_best[2] <= latency_best[2]
+    # But within the gapness-filtered candidates, the energy-best stays
+    # within a modest latency factor - balanced schedules waste little.
+    assert energy_best[1] < 3.0 * latency_best[1]
+
+
+def test_lp_mode_saves_energy_per_task(benchmark):
+    application = build_octree_application()
+
+    def measure():
+        outcomes = {}
+        for name in ("jetson_orin_nano", "jetson_orin_nano_lp"):
+            platform = get_platform(name)
+            plan = BetterTogether(platform, repetitions=10, k=8,
+                                  eval_tasks=15).run(application)
+            result = plan.execute(n_tasks=20)
+            report = estimate_energy(result, platform)
+            outcomes[name] = (result.steady_interval_s,
+                              report.per_task_j)
+        return outcomes
+
+    outcomes = run_once(benchmark, measure)
+    normal_latency, normal_energy = outcomes["jetson_orin_nano"]
+    lp_latency, lp_energy = outcomes["jetson_orin_nano_lp"]
+    print(f"\nnormal: {normal_latency * 1e3:.3f} ms/task, "
+          f"{normal_energy * 1e3:.2f} mJ/task")
+    print(f"7W:     {lp_latency * 1e3:.3f} ms/task, "
+          f"{lp_energy * 1e3:.2f} mJ/task")
+    # The power mode's purpose: pay latency, save energy per task.
+    assert lp_latency > normal_latency
+    assert lp_energy < normal_energy

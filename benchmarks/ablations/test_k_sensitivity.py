@@ -1,0 +1,34 @@
+"""Ablation: candidate-count K sensitivity for autotuning (section 3.3
+fixes K = 20; how much of the gain does a smaller campaign capture?)."""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import build_alexnet_sparse
+from repro.core.framework import BetterTogether
+from repro.soc import get_platform
+
+
+def test_k_sensitivity(benchmark):
+    platform = get_platform("pixel7a")
+    application = build_alexnet_sparse()
+    framework = BetterTogether(platform, repetitions=10, k=20,
+                               eval_tasks=20)
+    table = framework.profile(application)
+    optimization = framework.optimize(application, table)
+
+    def campaign():
+        outcomes = {}
+        for k in (1, 5, 10, 20):
+            tuned = framework.autotune(application, optimization)
+            subset = tuned.entries[:k]
+            outcomes[k] = min(e.measured_latency_s for e in subset)
+        return outcomes
+
+    outcomes = run_once(benchmark, campaign)
+    print("\nbest measured latency by campaign size K:")
+    for k, latency in outcomes.items():
+        print(f"  K={k:2d}: {latency * 1e3:.3f} ms")
+    # Larger campaigns never lose, and K=20 beats the un-tuned K=1 pick.
+    assert outcomes[20] <= outcomes[10] <= outcomes[5] <= outcomes[1]
+    assert outcomes[20] < outcomes[1]

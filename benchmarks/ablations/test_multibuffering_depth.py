@@ -1,0 +1,43 @@
+"""Ablation: TaskObject multi-buffering depth (section 3.4).
+
+One TaskObject serializes the pipeline; the paper's multi-buffering is
+what lets chunks overlap.  Diminishing returns past #chunks + 1.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import build_octree_application
+from repro.core.framework import BetterTogether
+from repro.runtime import SimulatedPipelineExecutor
+from repro.soc import get_platform
+
+
+def test_multibuffering_depth(benchmark):
+    platform = get_platform("pixel7a")
+    application = build_octree_application()
+    plan = BetterTogether(platform, repetitions=10, k=10,
+                          eval_tasks=15).run(application)
+    chunks = plan.schedule.chunks()
+
+    def sweep():
+        intervals = {}
+        for depth in (1, 2, len(chunks), len(chunks) + 1,
+                      2 * len(chunks) + 2):
+            executor = SimulatedPipelineExecutor(
+                application, chunks, platform, depth=depth
+            )
+            intervals[depth] = executor.run(25).steady_interval_s
+        return intervals
+
+    intervals = run_once(benchmark, sweep)
+    print("\nsteady per-task interval by multi-buffering depth:")
+    for depth, interval in sorted(intervals.items()):
+        print(f"  depth={depth}: {interval * 1e3:.3f} ms")
+    depths = sorted(intervals)
+    # depth=1 is serial and clearly slower than full multi-buffering.
+    assert intervals[1] > 1.3 * intervals[depths[-1]]
+    # Diminishing returns: going beyond #chunks+1 changes little.
+    full = intervals[len(chunks) + 1]
+    beyond = intervals[2 * len(chunks) + 2]
+    assert abs(beyond - full) < 0.1 * full

@@ -1,0 +1,79 @@
+"""Ablation: profiling mode x utilization filter (a 2x2).
+
+The paper co-designs its two ideas: interference-aware profiling AND the
+gapness filter whose schedules recreate the profiled co-run conditions
+(section 3.3, "Optimization One").  Ablating them independently on
+AlexNet-sparse @ Pixel separates their contributions:
+
+* the *filter* is what rescues rank correlation (it restores the
+  conditions either table was collected under for the surviving
+  schedules);
+* the *table mode* sets the bias direction: isolated tables are
+  systematically optimistic (the paper's 4.95 ms-predicted /
+  7.77 ms-measured motivation), interference-heavy tables conservative.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import run_once
+from repro.apps import build_alexnet_sparse
+from repro.core.autotuner import Autotuner
+from repro.core.optimizer import BTOptimizer
+from repro.core.profiler import INTERFERENCE, ISOLATED, BTProfiler
+from repro.eval.metrics import pearson_correlation
+from repro.soc import get_platform
+
+
+def test_profiling_mode_times_filter_grid(benchmark):
+    platform = get_platform("pixel7a")
+    application = build_alexnet_sparse()
+    profiler = BTProfiler(platform, repetitions=10)
+    schedulable = platform.schedulable_classes()
+    tables = {
+        mode: profiler.profile(application, mode=mode).restricted(
+            schedulable
+        )
+        for mode in (INTERFERENCE, ISOLATED)
+    }
+
+    def ablate():
+        grid = {}
+        for mode in (INTERFERENCE, ISOLATED):
+            for filtered, slack in (("filter", 0.10),
+                                    ("nofilter", math.inf)):
+                optimization = BTOptimizer(
+                    application, tables[mode], k=20, gap_slack=slack
+                ).optimize()
+                tuned = Autotuner(
+                    application, platform, eval_tasks=20
+                ).tune(optimization)
+                predicted = [e.predicted_latency_s for e in tuned.entries]
+                measured = [e.measured_latency_s for e in tuned.entries]
+                signed = [
+                    (p - m) / m for p, m in zip(predicted, measured)
+                ]
+                grid[(mode, filtered)] = (
+                    pearson_correlation(predicted, measured),
+                    sum(signed) / len(signed),
+                )
+        return grid
+
+    grid = run_once(benchmark, ablate)
+    print("\nmode x filter -> (correlation, signed bias):")
+    for key, (r, bias) in grid.items():
+        print(f"  {key}: r={r:+.3f}, bias={bias:+.3f}")
+
+    # The BetterTogether corner correlates strongly.
+    assert grid[(INTERFERENCE, "filter")][0] > 0.9
+    # The filter is what rescues rank correlation, for either table.
+    for mode in (INTERFERENCE, ISOLATED):
+        assert (
+            grid[(mode, "filter")][0]
+            > grid[(mode, "nofilter")][0] + 0.3
+        )
+    # Isolated tables are optimistic, interference-heavy conservative.
+    for filtered in ("filter", "nofilter"):
+        assert grid[(ISOLATED, filtered)][1] < 0.0
+        assert grid[(INTERFERENCE, filtered)][1] > 0.0

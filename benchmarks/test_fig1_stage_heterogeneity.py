@@ -1,0 +1,20 @@
+"""Benchmark + shape check for Fig. 1 (stage/PU heterogeneity, Pixel)."""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import format_fig1, run_fig1
+
+
+def test_fig1_stage_heterogeneity(benchmark, paper_scale):
+    result = run_once(benchmark, run_fig1, paper_scale)
+    print("\n" + format_fig1(result))
+
+    # Paper shapes: GPU is the worst PU for sorting, the best for the
+    # radix tree, and competitive with the big/medium CPUs for the
+    # octree construction stage.
+    assert result.gpu_is_worst_at_sort()
+    assert result.gpu_is_best_at_radix_tree()
+    assert result.octree_build_is_balanced()
+    # The motivating spread: at least an order of magnitude between the
+    # best and worst (stage, PU) pairings.
+    flat = [t for row in result.times_s.values() for t in row.values()]
+    assert max(flat) > 10 * min(flat)

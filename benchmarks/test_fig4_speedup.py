@@ -1,0 +1,34 @@
+"""Benchmark + shape check for Fig. 4 (BetterTogether speedups)."""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import format_fig4, run_fig4
+
+
+def test_fig4_speedups(benchmark, paper_scale):
+    result = run_once(benchmark, run_fig4, paper_scale)
+    print("\n" + format_fig4(result))
+
+    # Every cell at least matches its best homogeneous baseline (the
+    # paper saw one slight slowdown out of 12; we tolerate 5%).
+    assert all(c.speedup > 0.95 for c in result.cells.values())
+    # At least 11 of 12 strictly improve.
+    assert sum(c.speedup > 1.0 for c in result.cells.values()) >= 11
+
+    # Platform ordering: the fully-pinnable, 4-PU-class Pixel gains the
+    # most; the 2-PU-class Jetsons gain the least (paper section 5.1).
+    pixel = result.platform_geomean("pixel7a")
+    oneplus = result.platform_geomean("oneplus11")
+    jetson = result.platform_geomean("jetson_orin_nano")
+    jetson_lp = result.platform_geomean("jetson_orin_nano_lp")
+    assert pixel >= oneplus >= max(jetson, jetson_lp)
+    assert pixel > 2.0
+    assert max(jetson, jetson_lp) < 2.0
+
+    # The grid maximum is Octree on the Pixel (paper: 8.40x there).
+    (max_app, max_platform), max_speed = result.max_speedup
+    assert (max_app, max_platform) == ("octree", "pixel7a")
+    assert max_speed > 3.0
+
+    # Overall geomean in the paper's band (2.17x section 5.1 / 2.72x
+    # abstract); ours must land meaningfully above 1.5x.
+    assert result.overall_geomean > 1.5

@@ -1,0 +1,24 @@
+"""Benchmark + shape check for Fig. 5 (three modeling flows compared)."""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import format_fig5, run_fig5
+
+
+def test_fig5_model_flows(benchmark, paper_scale):
+    result = run_once(benchmark, run_fig5, paper_scale)
+    print("\n" + format_fig5(result))
+
+    bt = result.series["bettertogether"]
+    latency_only = result.series["latency-only"]
+    isolated = result.series["isolated"]
+
+    # (a) correlates strongly; (b) and (c) visibly worse; (c) worst or
+    # tied-worst (the paper's Fig. 5 ordering).
+    assert bt.correlation > 0.9
+    assert bt.correlation > latency_only.correlation + 0.1
+    assert bt.correlation > isolated.correlation + 0.1
+
+    # The motivating observation (section 1): the isolated flow's
+    # predictions diverge from reality - its best prediction is
+    # optimistic (predicted < measured).
+    assert isolated.predicted_s[0] < isolated.measured_s[0]

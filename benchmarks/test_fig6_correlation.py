@@ -1,0 +1,25 @@
+"""Benchmark + shape check for Fig. 6 (correlation heatmaps)."""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import format_fig6, run_fig6
+
+
+def test_fig6_correlation_grid(benchmark, paper_scale):
+    result = run_once(benchmark, run_fig6, paper_scale)
+    print("\n" + format_fig6(result))
+
+    # BetterTogether's mean correlation is high (paper: 0.92 mean,
+    # 0.99 max) and beats the prior-work flow's mean (paper: 0.85).
+    assert result.mean_correlation("bettertogether") > 0.9
+    assert result.bt_mean_exceeds_isolated()
+
+    # The gap concentrates on the irregular workloads (CIFAR-S, Tree).
+    assert result.sparse_tree_gap() > 0.05
+
+    # The dense workload correlates well under BOTH flows (its regular
+    # behaviour is easy to model; paper rows 'CIFAR-D').
+    dense_iso = [
+        v for (app, _), v in result.isolated.items()
+        if app == "alexnet-dense"
+    ]
+    assert min(dense_iso) > 0.9

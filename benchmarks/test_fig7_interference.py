@@ -1,0 +1,28 @@
+"""Benchmark + shape check for Fig. 7 (impact of interference)."""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import PAPER_RATIOS, format_fig7, run_fig7
+
+
+def test_fig7_interference_ratios(benchmark, paper_scale):
+    result = run_once(benchmark, run_fig7, paper_scale)
+    print("\n" + format_fig7(result))
+
+    # Every slowdown/speedup direction matches the paper's Fig. 7.
+    assert result.directions_matching() == len(PAPER_RATIOS)
+
+    ratios = result.ratios
+    # Pixel: all CPU tiers slow, Mali GPU speeds up.
+    assert ratios[("pixel7a", "big")] > 1.1
+    assert ratios[("pixel7a", "gpu")] < 1.0
+    # OnePlus: the A510 little cores and Adreno GPU boost under load -
+    # the paper's most surprising observation.
+    assert ratios[("oneplus11", "little")] < 0.95
+    assert ratios[("oneplus11", "gpu")] < 0.95
+    assert 0.9 < ratios[("oneplus11", "medium")] < 1.15
+    # Jetson: CUDA GPU slows; much harder in the 7 W power envelope.
+    assert ratios[("jetson_orin_nano", "gpu")] > 1.0
+    assert (
+        ratios[("jetson_orin_nano_lp", "gpu")]
+        > ratios[("jetson_orin_nano", "gpu")] + 0.1
+    )

@@ -1,0 +1,95 @@
+"""Host-side throughput benchmarks for the functional kernels.
+
+These time the *actual numpy kernels* (not the virtual SoC) on
+paper-scale inputs - the working set a contributor touches when
+optimizing a kernel, and a regression fence for the functional layer.
+"""
+
+import numpy as np
+import pytest
+
+from repro.kernels import (
+    allocate_tree,
+    build_radix_tree_cpu,
+    build_radix_tree_gpu,
+    conv2d_relu_cpu,
+    morton_encode_cpu,
+    prune_to_csr,
+    sort_codes_gpu,
+    sparse_conv2d_relu_cpu,
+)
+from repro.kernels.nn import ConvSpec
+
+N_POINTS = 100_000
+
+
+@pytest.fixture(scope="module")
+def cloud():
+    rng = np.random.default_rng(0)
+    return rng.random((N_POINTS, 3), dtype=np.float32)
+
+
+@pytest.fixture(scope="module")
+def sorted_codes(cloud):
+    codes = np.zeros(N_POINTS, dtype=np.uint32)
+    morton_encode_cpu(cloud, codes)
+    return np.unique(np.sort(codes))
+
+
+def test_morton_encode_throughput(benchmark, cloud):
+    codes = np.zeros(N_POINTS, dtype=np.uint32)
+    benchmark(morton_encode_cpu, cloud, codes)
+    assert codes.max() < (1 << 30)
+
+
+def test_radix_sort_gpu_variant_throughput(benchmark, cloud):
+    codes = np.zeros(N_POINTS, dtype=np.uint32)
+    morton_encode_cpu(cloud, codes)
+    out = np.zeros(N_POINTS, dtype=np.uint32)
+    benchmark(sort_codes_gpu, codes, out)
+    assert np.all(out[1:] >= out[:-1])
+
+
+def test_karras_tree_cpu_throughput(benchmark, sorted_codes):
+    def build():
+        tree = allocate_tree(len(sorted_codes))
+        build_radix_tree_cpu(sorted_codes, tree)
+        return tree
+
+    tree = benchmark(build)
+    assert tree.num_internal == len(sorted_codes) - 1
+
+
+def test_karras_tree_gpu_variant_throughput(benchmark, sorted_codes):
+    def build():
+        tree = allocate_tree(len(sorted_codes))
+        build_radix_tree_gpu(sorted_codes, tree)
+        return tree
+
+    tree = benchmark(build)
+    assert tree.num_internal == len(sorted_codes) - 1
+
+
+def test_dense_conv_throughput(benchmark):
+    spec = ConvSpec(in_channels=96, out_channels=192, kernel_size=5,
+                    padding=2)
+    rng = np.random.default_rng(1)
+    x = rng.standard_normal((96, 16, 16)).astype(np.float32)
+    w = rng.standard_normal((192, 96, 5, 5)).astype(np.float32)
+    b = rng.standard_normal(192).astype(np.float32)
+    out = np.zeros((192, 16, 16), dtype=np.float32)
+    benchmark(conv2d_relu_cpu, x, w, b, out, spec)
+    assert np.all(out >= 0.0)
+
+
+def test_sparse_conv_throughput(benchmark):
+    spec = ConvSpec(in_channels=96, out_channels=192, kernel_size=5,
+                    padding=2)
+    rng = np.random.default_rng(2)
+    x = rng.standard_normal((96, 16, 16)).astype(np.float32)
+    w = rng.standard_normal((192, 96, 5, 5)).astype(np.float32)
+    b = rng.standard_normal(192).astype(np.float32)
+    csr = prune_to_csr(w, sparsity=0.995)
+    out = np.zeros((192, 16, 16), dtype=np.float32)
+    benchmark(sparse_conv2d_relu_cpu, x, csr, b, out, spec)
+    assert np.all(out >= 0.0)

@@ -1,0 +1,45 @@
+"""Benchmark for the solver's per-invocation cost (paper section 3.3:
+each z3 invocation on the Pixel/AlexNet case completes in < 50 ms)."""
+
+import pytest
+
+from repro.apps import build_alexnet_sparse
+from repro.core.optimizer import BTOptimizer
+from repro.core.profiler import BTProfiler
+from repro.soc import get_platform
+
+
+@pytest.fixture(scope="module")
+def paper_case():
+    """The paper's sizing example: N=9 stages, M=4 PU classes."""
+    platform = get_platform("pixel7a")
+    application = build_alexnet_sparse()
+    table = BTProfiler(platform, repetitions=5).profile(application)
+    return application, table.restricted(platform.schedulable_classes())
+
+
+def test_solver_single_invocation_under_paper_budget(benchmark, paper_case):
+    application, table = paper_case
+
+    def solve_level1():
+        return BTOptimizer(application, table).optimize_utilization()
+
+    result = benchmark(solve_level1)
+    assert result.gapness_s >= 0.0
+    # Paper: < 50 ms per invocation on a commodity laptop.  Allow head
+    # room for slow CI machines.
+    assert benchmark.stats["mean"] < 0.25
+
+
+def test_full_k20_campaign(benchmark, paper_case):
+    application, table = paper_case
+
+    def solve_all():
+        return BTOptimizer(application, table, k=20).optimize()
+
+    result = benchmark.pedantic(solve_all, rounds=1, iterations=1)
+    assert len(result.candidates) == 20
+    mean_invocation = result.solver_wall_s / result.solver_invocations
+    print(f"\nmean solver invocation: {mean_invocation * 1e3:.1f} ms "
+          f"over {result.solver_invocations} invocations")
+    assert mean_invocation < 0.25

@@ -1,0 +1,25 @@
+"""Benchmark + shape check for Table 4 (the autotuning campaign)."""
+
+from benchmarks.conftest import run_once
+from repro.eval.experiments import format_table4, run_table4
+
+
+def test_table4_autotuning_log(benchmark, paper_scale):
+    result = run_once(benchmark, run_table4, paper_scale)
+    print("\n" + format_table4(result))
+
+    entries = result.autotune.entries
+    assert len(entries) >= 10
+
+    # Predicted latencies are sorted (the optimizer's output order) and
+    # cluster into tiers.
+    predicted = [e.predicted_latency_s for e in entries]
+    assert predicted == sorted(predicted)
+
+    # Level-3 autotuning finds a measured-best at least as good as the
+    # predicted-best, with a tangible gain (paper: 1.35x).
+    assert result.autotuning_gain >= 1.0
+    # Within the top candidates, measured order differs from predicted
+    # order somewhere - the reason autotuning exists at all.
+    measured = [e.measured_latency_s for e in entries]
+    assert measured != sorted(measured)

@@ -1,0 +1,12 @@
+"""Pytest root conftest: make ``src/`` importable without installation.
+
+The offline environment lacks the ``wheel`` package needed for
+``pip install -e .``; this mirrors an editable install.
+"""
+
+import os
+import sys
+
+SRC = os.path.join(os.path.dirname(__file__), "src")
+if SRC not in sys.path:
+    sys.path.insert(0, SRC)

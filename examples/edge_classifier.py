@@ -1,0 +1,112 @@
+#!/usr/bin/env python3
+"""Scenario: batched sparse-CNN inference on a phone.
+
+An on-device vision service classifies camera frames in batches with a
+Condensa-pruned (CSR) AlexNet - the paper's AlexNet-sparse workload, the
+one where isolated performance models go most wrong (Figs. 5-6).
+
+The example walks the full Table-4 story on the Google Pixel 7a:
+
+1. collect the interference-aware profiling table and print it,
+2. generate the K = 20 candidate schedules and show the performance
+   tiers the paper describes,
+3. autotune: measure the top candidates, show predicted-vs-measured,
+   and pick the measured best,
+4. run real batched inference through the deployed pipeline.
+
+Run:  python examples/edge_classifier.py
+"""
+
+import numpy as np
+
+from repro.apps import build_alexnet_sparse
+from repro.core import BetterTogether
+from repro.eval.metrics import format_table
+from repro.runtime import ThreadedPipelineExecutor
+from repro.soc import get_platform
+
+
+def show_profiling_table(table) -> None:
+    print("interference-aware profiling table (ms):")
+    print(format_table(table.to_rows()))
+    print()
+
+
+def show_tiers(optimization) -> None:
+    tiers = optimization.tiers()
+    print(f"{len(optimization.candidates)} candidates in "
+          f"{len(tiers)} performance tiers:")
+    for index, tier in enumerate(tiers):
+        lo = tier[0].predicted_latency_s * 1e3
+        hi = tier[-1].predicted_latency_s * 1e3
+        print(f"  tier {index + 1}: {len(tier)} schedules, "
+              f"predicted {lo:.2f}-{hi:.2f} ms")
+    print()
+
+
+def show_autotuning(autotune) -> None:
+    print("autotuning campaign (top 10):")
+    rows = [["#", "predicted (ms)", "measured (ms)"]]
+    for entry in autotune.entries[:10]:
+        rows.append([
+            str(entry.rank + 1),
+            f"{entry.predicted_latency_s * 1e3:.2f}",
+            f"{entry.measured_latency_s * 1e3:.2f}",
+        ])
+    print(format_table(rows))
+    best = autotune.measured_best
+    print(f"measured best: candidate #{best.rank + 1}; autotuning gain "
+          f"{autotune.autotuning_gain:.2f}x over the predicted-best")
+    print()
+
+
+def run_real_inference(plan) -> None:
+    """Classify two real batches through the actual kernels."""
+    application = build_alexnet_sparse(batch=4)  # small functional batch
+    small_platform = get_platform("pixel7a")
+    small_plan = BetterTogether(
+        small_platform, repetitions=5, k=8, eval_tasks=10
+    ).run(application)
+    predictions = []
+
+    def capture(task, index):
+        logits = np.asarray(task["logits"])
+        predictions.append(logits.argmax(axis=-1).tolist())
+
+    ThreadedPipelineExecutor(
+        application, small_plan.schedule.chunks()
+    ).run(2, on_complete=capture, validate=True)
+    print(f"real inference under schedule "
+          f"{small_plan.schedule.describe(application)}:")
+    for batch_index, labels in enumerate(predictions):
+        print(f"  batch {batch_index}: predicted classes {labels}")
+    del plan
+
+
+def main() -> None:
+    platform = get_platform("pixel7a")
+    application = build_alexnet_sparse()  # paper scale: batch 128
+
+    framework = BetterTogether(platform)
+    table = framework.profile(application)
+    show_profiling_table(table)
+
+    optimization = framework.optimize(application, table)
+    show_tiers(optimization)
+
+    autotune = framework.autotune(application, optimization)
+    show_autotuning(autotune)
+
+    from repro.core.framework import DeploymentPlan
+
+    plan = DeploymentPlan(
+        application=application, platform=platform, table=table,
+        optimization=optimization, autotune=autotune,
+    )
+    print(plan.summary())
+    print()
+    run_real_inference(plan)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: pipeline an application across a heterogeneous SoC.
+
+The 60-second tour of BetterTogether: pick a (virtual) platform, build
+one of the paper's applications, run the fully automated flow -
+interference-aware profiling, constraint-based schedule optimization,
+on-device autotuning - and compare the deployed pipeline against the
+homogeneous baselines.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.apps import build_octree_application
+from repro.baselines import measure_baselines
+from repro.core import BetterTogether
+from repro.soc import get_platform
+
+
+def main() -> None:
+    # 1. The target system (paper Fig. 2, input 2).  Four calibrated
+    #    virtual SoCs ship with the library; see repro.soc.PLATFORM_NAMES.
+    platform = get_platform("pixel7a")
+    print(platform.describe())
+    print()
+
+    # 2. The application (input 1): a 7-stage octree-construction
+    #    pipeline over streaming point clouds, every stage with a CPU
+    #    and a GPU kernel.
+    application = build_octree_application(n_points=100_000)
+    print(f"application: {application.name} - "
+          f"{', '.join(application.stage_names)}")
+    print()
+
+    # 3. The fully automated flow (Fig. 2, steps 3-5).
+    framework = BetterTogether(platform)
+    plan = framework.run(application)
+    print(plan.summary())
+    print()
+
+    # 4. How much did heterogeneous pipelining buy?
+    baselines = measure_baselines(application, platform)
+    print(f"CPU-only (big cores): {baselines.cpu_latency_s * 1e3:8.3f} ms/task")
+    print(f"GPU-only:             {baselines.gpu_latency_s * 1e3:8.3f} ms/task")
+    print(f"BetterTogether:       {plan.measured_latency_s * 1e3:8.3f} ms/task")
+    print(f"speedup over best baseline: "
+          f"{baselines.best_latency_s / plan.measured_latency_s:.2f}x")
+
+    # 5. Deploy: stream 30 point clouds through the pipeline.
+    result = plan.execute(n_tasks=30)
+    print(f"\nstreamed {result.n_tasks} tasks in "
+          f"{result.total_s * 1e3:.1f} ms (virtual time), "
+          f"throughput {result.throughput_tasks_per_s:.0f} tasks/s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Scenario: why schedules don't port across devices (paper section 1).
+
+"A given pipeline schedule is not portable across devices": the optimal
+mapping for the Pixel differs from the Nano's because their PU balances
+differ.  This example optimizes the Octree pipeline per device, then
+cross-applies each device's best schedule to every other device and
+measures the damage - the quantitative case for re-optimizing per
+target, i.e. for a *framework* rather than a fixed schedule.
+
+Run:  python examples/schedule_portability.py
+"""
+
+from repro.apps import build_octree_application
+from repro.baselines import measure_schedule
+from repro.core import BetterTogether
+from repro.eval.metrics import format_table
+from repro.soc import all_platforms
+
+
+def main() -> None:
+    application = build_octree_application(n_points=100_000)
+    platforms = all_platforms()
+
+    plans = {}
+    for platform in platforms:
+        plans[platform.name] = BetterTogether(platform).run(application)
+        schedule = plans[platform.name].schedule
+        print(f"{platform.display_name:28s} -> "
+              f"{schedule.describe(application)}")
+    print()
+
+    # Cross-apply: run platform A's schedule on platform B (when B has
+    # the needed PU classes).
+    rows = [["schedule from \\ run on"]
+            + [p.display_name for p in platforms]]
+    for source in platforms:
+        schedule = plans[source.name].schedule
+        row = [source.display_name]
+        for target in platforms:
+            usable = set(schedule.pu_classes_used) <= set(
+                target.schedulable_classes()
+            )
+            if not usable:
+                row.append("n/a")
+                continue
+            latency = measure_schedule(application, schedule, target)
+            native = plans[target.name].measured_latency_s
+            penalty = latency / native
+            row.append(f"{latency * 1e3:.2f}ms ({penalty:.2f}x)")
+        rows.append(row)
+    print("cross-application latency (penalty vs the native schedule):")
+    print(format_table(rows))
+    print()
+
+    # Quantify: the worst portability penalty observed.
+    worst = 1.0
+    for source in platforms:
+        schedule = plans[source.name].schedule
+        for target in platforms:
+            if set(schedule.pu_classes_used) <= set(
+                target.schedulable_classes()
+            ):
+                latency = measure_schedule(application, schedule, target)
+                worst = max(
+                    worst, latency / plans[target.name].measured_latency_s
+                )
+    print(f"worst cross-device penalty: {worst:.2f}x - schedules are "
+          "device-specific; the portable artifact is the framework.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""Legacy setuptools shim.
+
+``pip install -e .`` needs the ``wheel`` package for PEP 517 editable
+builds; fully-offline environments without it can fall back to::
+
+    python setup.py develop --user
+
+(or simply add ``<repo>/src`` to ``PYTHONPATH`` - the repository's
+``conftest.py`` does this automatically for pytest runs).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,80 @@
+"""Synthetic input generators for the evaluated workloads.
+
+The paper uses CIFAR-10 images and 3-D point clouds (paper Table 1).  We
+have no network access, so inputs are deterministic synthetic stand-ins
+with the same shapes and value ranges: input *content* only sets work
+sizes for these pipelines - it does not change the scheduler's behaviour -
+so the substitution is benign (recorded in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+
+#: CIFAR-10 geometry.
+CIFAR_SHAPE = (3, 32, 32)
+CIFAR_CLASSES = 10
+
+
+def cifar_like_image(seed: int) -> np.ndarray:
+    """One deterministic CIFAR-shaped image, values in [0, 1].
+
+    Images are low-frequency noise (smoothed uniform) so convolutions see
+    realistic spatial correlation rather than white noise.
+    """
+    rng = np.random.default_rng(100_000 + seed)
+    raw = rng.random((3, 36, 36), dtype=np.float32)
+    # Cheap 5x5 box smoothing via cumulative sums.
+    smooth = raw
+    for axis in (1, 2):
+        smooth = (
+            np.take(smooth, range(0, 32), axis=axis)
+            + np.take(smooth, range(1, 33), axis=axis)
+            + np.take(smooth, range(2, 34), axis=axis)
+            + np.take(smooth, range(3, 35), axis=axis)
+            + np.take(smooth, range(4, 36), axis=axis)
+        ) / 5.0
+    return np.ascontiguousarray(smooth, dtype=np.float32)
+
+
+def cifar_like_batch(seed: int, batch: int) -> np.ndarray:
+    """A deterministic batch of CIFAR-shaped images."""
+    if batch < 1:
+        raise KernelError("batch must be >= 1")
+    return np.stack(
+        [cifar_like_image(seed * 131 + b) for b in range(batch)]
+    )
+
+
+def point_cloud(seed: int, n_points: int) -> np.ndarray:
+    """A deterministic structured point cloud in the unit cube.
+
+    Mimics an indoor LiDAR sweep: points concentrate on a handful of
+    planar "surfaces" plus uniform clutter, which produces the skewed
+    Morton-code distributions (duplicates, deep subtrees) that make the
+    Octree workload's irregular stages interesting.
+    """
+    if n_points < 1:
+        raise KernelError("n_points must be >= 1")
+    rng = np.random.default_rng(200_000 + seed)
+    n_surface = int(n_points * 0.7)
+    n_clutter = n_points - n_surface
+
+    n_planes = 5
+    plane_axis = rng.integers(0, 3, size=n_planes)
+    plane_offset = rng.random(n_planes)
+    counts = rng.multinomial(n_surface, [1.0 / n_planes] * n_planes)
+    pieces = []
+    for plane in range(n_planes):
+        pts = rng.random((counts[plane], 3))
+        pts[:, plane_axis[plane]] = plane_offset[plane] + rng.normal(
+            0.0, 0.01, size=counts[plane]
+        )
+        pieces.append(pts)
+    pieces.append(rng.random((n_clutter, 3)))
+    cloud = np.concatenate(pieces).astype(np.float32)
+    np.clip(cloud, 0.0, 1.0, out=cloud)
+    rng.shuffle(cloud)
+    return cloud

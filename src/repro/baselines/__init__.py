@@ -1,0 +1,38 @@
+"""Baselines: homogeneous CPU/GPU deployments, the data-parallel
+alternative, and prior-work performance-model flows."""
+
+from repro.baselines.data_parallel import (
+    DataParallelResult,
+    data_parallel_baseline,
+    excluded_pus,
+    split_evenness,
+)
+from repro.baselines.homogeneous import (
+    BaselineResult,
+    cpu_only_schedule,
+    gpu_only_schedule,
+    measure_baselines,
+    measure_schedule,
+    per_stage_baseline_times,
+)
+from repro.baselines.metaheuristic import MetaheuristicOptimizer
+from repro.baselines.prior_models import (
+    isolated_latency_only_candidates,
+    latency_only_candidates,
+)
+
+__all__ = [
+    "BaselineResult",
+    "DataParallelResult",
+    "MetaheuristicOptimizer",
+    "cpu_only_schedule",
+    "data_parallel_baseline",
+    "excluded_pus",
+    "gpu_only_schedule",
+    "isolated_latency_only_candidates",
+    "latency_only_candidates",
+    "measure_baselines",
+    "measure_schedule",
+    "per_stage_baseline_times",
+    "split_evenness",
+]

@@ -1,0 +1,264 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Mirrors how the paper's C++ tool is driven: point it at an application
+and a target system, get back profiling tables, candidate schedules, a
+deployed plan, or the full evaluation report.
+
+Commands:
+
+* ``platforms`` / ``apps``     - list registered targets / workloads
+* ``profile``                  - collect a profiling table (optionally save JSON)
+* ``plan``                     - run the end-to-end flow, print the plan
+* ``baselines``                - measure CPU-only / GPU-only baselines
+* ``analyze``                  - affinity spreads, speedup bounds, schedule explanation
+* ``gantt``                    - render the deployed pipeline's Gantt chart
+* ``report``                   - regenerate every paper table/figure
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.apps import APPLICATION_BUILDERS
+from repro.baselines import measure_baselines
+from repro.core import BetterTogether
+from repro.core.profiler import INTERFERENCE, MODES, BTProfiler
+from repro.eval.experiments import ExperimentScale
+from repro.eval.metrics import format_table
+from repro.runtime import SimulatedPipelineExecutor, format_gantt
+from repro.serialization import save
+from repro.soc import PLATFORM_NAMES, get_platform
+from repro.soc.platforms import _BUILDERS as _ALL_PLATFORMS
+
+
+def _build_app(name: str):
+    try:
+        builder = APPLICATION_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(APPLICATION_BUILDERS))
+        raise SystemExit(f"unknown application {name!r}; known: {known}")
+    return builder()
+
+
+def _platform(name: str):
+    from repro.errors import PlatformError
+
+    try:
+        return get_platform(name)
+    except PlatformError as exc:
+        raise SystemExit(str(exc))
+
+
+# ----------------------------------------------------------------------
+# Commands
+# ----------------------------------------------------------------------
+def cmd_platforms(args: argparse.Namespace) -> int:
+    """List registered platforms (paper grid starred)."""
+    for name in _ALL_PLATFORMS:
+        platform = get_platform(name)
+        marker = "*" if name in PLATFORM_NAMES else " "
+        print(f"{marker} {name}: {platform.display_name} "
+              f"({platform.soc_model})")
+    print("\n* = part of the paper's evaluation grid")
+    return 0
+
+
+def cmd_apps(args: argparse.Namespace) -> int:
+    """List registered applications."""
+    for name, builder in APPLICATION_BUILDERS.items():
+        app = builder()
+        print(f"{name}: {app.num_stages} stages - {app.description}")
+    return 0
+
+
+def cmd_profile(args: argparse.Namespace) -> int:
+    """Collect and print a profiling table; optionally save JSON."""
+    platform = _platform(args.platform)
+    application = _build_app(args.app)
+    profiler = BTProfiler(platform, repetitions=args.repetitions)
+    table = profiler.profile(application, mode=args.mode)
+    print(f"profiling table ({args.mode}) for {application.name} on "
+          f"{platform.display_name} (ms):")
+    print(format_table(table.to_rows()))
+    if args.out:
+        save(table, args.out)
+        print(f"saved to {args.out}")
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    """Run the end-to-end flow and print the deployment plan."""
+    platform = _platform(args.platform)
+    application = _build_app(args.app)
+    framework = BetterTogether(
+        platform, repetitions=args.repetitions, k=args.k,
+        eval_tasks=args.eval_tasks,
+    )
+    plan = framework.run(application)
+    print(plan.summary())
+    if args.out:
+        save(plan.schedule, args.out)
+        print(f"schedule saved to {args.out}")
+    return 0
+
+
+def cmd_baselines(args: argparse.Namespace) -> int:
+    """Measure the homogeneous CPU-only / GPU-only baselines."""
+    platform = _platform(args.platform)
+    application = _build_app(args.app)
+    result = measure_baselines(application, platform,
+                               n_tasks=args.eval_tasks)
+    cpu, gpu = result.as_row()
+    print(f"{application.name} on {platform.display_name}: "
+          f"CPU-only {cpu} ms | GPU-only {gpu} ms "
+          f"(best: {result.best_name})")
+    return 0
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Affinity report, speedup bound, schedule explanation, memory."""
+    from repro.eval.analysis import (
+        explain_schedule,
+        format_affinity_report,
+        format_explanation,
+        speedup_bounds,
+        stage_affinity_report,
+    )
+    from repro.runtime import estimate_pipeline_memory
+
+    platform = _platform(args.platform)
+    application = _build_app(args.app)
+    framework = BetterTogether(
+        platform, repetitions=args.repetitions, k=args.k,
+        eval_tasks=args.eval_tasks,
+    )
+    table = framework.profile(application)
+    print("per-stage PU affinities:")
+    print(format_affinity_report(stage_affinity_report(application,
+                                                       table)))
+    bounds = speedup_bounds(
+        application, table.restricted(platform.schedulable_classes())
+    )
+    print("\nspeedup ceiling on "
+          f"{platform.display_name}: {bounds.max_speedup:.2f}x")
+    optimization = framework.optimize(application, table)
+    autotune = framework.autotune(application, optimization)
+    winner = autotune.measured_best.candidate
+    print(f"\ndeployed schedule (candidate #{winner.rank + 1}):")
+    print(format_explanation(
+        explain_schedule(application, winner.schedule, table)
+    ))
+    if application.make_task is not None:
+        depth = len(winner.schedule.chunks()) + 1
+        memory = estimate_pipeline_memory(application, depth)
+        print(f"\nmemory: {memory.total_mib:.1f} MiB "
+              f"({depth} TaskObjects x "
+              f"{memory.per_task_bytes / 1024 / 1024:.1f} MiB)")
+    return 0
+
+
+def cmd_gantt(args: argparse.Namespace) -> int:
+    """Deploy a plan and render its execution Gantt chart."""
+    platform = _platform(args.platform)
+    application = _build_app(args.app)
+    framework = BetterTogether(
+        platform, repetitions=args.repetitions, k=args.k,
+        eval_tasks=args.eval_tasks,
+    )
+    plan = framework.run(application)
+    print(plan.summary())
+    executor = SimulatedPipelineExecutor(
+        application, plan.schedule.chunks(), platform
+    )
+    result = executor.run(args.tasks, record_trace=True)
+    print()
+    print(format_gantt(result.spans, width=args.width))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Regenerate every paper table/figure as one text report."""
+    from repro.eval.reporting import generate_report
+
+    scale = (ExperimentScale.quick() if args.quick
+             else ExperimentScale.paper())
+    text = generate_report(scale=scale, progress=lambda line: print(
+        line, file=sys.stderr))
+    print(text)
+    return 0
+
+
+# ----------------------------------------------------------------------
+# Parser
+# ----------------------------------------------------------------------
+def _add_target_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--platform", default="pixel7a",
+                        help="target platform (see `platforms`)")
+    parser.add_argument("--app", default="octree",
+                        help="application (see `apps`)")
+    parser.add_argument("--repetitions", type=int, default=30,
+                        help="profiling repetitions per table entry")
+    parser.add_argument("--k", type=int, default=20,
+                        help="optimizer candidate count")
+    parser.add_argument("--eval-tasks", type=int, default=30,
+                        help="tasks per measurement run")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser with all subcommands."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="BetterTogether: interference-aware software "
+                    "pipelining on heterogeneous SoCs (reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list registered platforms"
+                   ).set_defaults(fn=cmd_platforms)
+    sub.add_parser("apps", help="list registered applications"
+                   ).set_defaults(fn=cmd_apps)
+
+    p = sub.add_parser("profile", help="collect a profiling table")
+    _add_target_args(p)
+    p.add_argument("--mode", choices=MODES, default=INTERFERENCE)
+    p.add_argument("--out", help="save the table as JSON")
+    p.set_defaults(fn=cmd_profile)
+
+    p = sub.add_parser("plan", help="run the end-to-end flow")
+    _add_target_args(p)
+    p.add_argument("--out", help="save the deployed schedule as JSON")
+    p.set_defaults(fn=cmd_plan)
+
+    p = sub.add_parser("baselines", help="measure homogeneous baselines")
+    _add_target_args(p)
+    p.set_defaults(fn=cmd_baselines)
+
+    p = sub.add_parser("analyze",
+                       help="affinity report, bounds, explanation")
+    _add_target_args(p)
+    p.set_defaults(fn=cmd_analyze)
+
+    p = sub.add_parser("gantt", help="render the deployed pipeline")
+    _add_target_args(p)
+    p.add_argument("--tasks", type=int, default=8)
+    p.add_argument("--width", type=int, default=72)
+    p.set_defaults(fn=cmd_gantt)
+
+    p = sub.add_parser("report",
+                       help="regenerate every paper table/figure")
+    p.add_argument("--quick", action="store_true",
+                   help="reduced scale for a fast smoke run")
+    p.set_defaults(fn=cmd_report)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,49 @@
+"""BetterTogether core: abstractions, profiler, optimizer, autotuner,
+and the end-to-end framework driver (paper section 3)."""
+
+from repro.core.autotuner import Autotuner, AutotuneEntry, AutotuneResult
+from repro.core.deployment import (
+    RateConstrainedChoice,
+    RateTrial,
+    select_for_rate,
+)
+from repro.core.framework import BetterTogether, DeploymentPlan
+from repro.core.optimizer import (
+    BTOptimizer,
+    OptimizationResult,
+    ScheduleCandidate,
+)
+from repro.core.profiler import (
+    INTERFERENCE,
+    ISOLATED,
+    BTProfiler,
+    ProfilingTable,
+    interference_ratios,
+)
+from repro.core.schedule import Schedule, enumerate_schedules
+from repro.core.stage import Application, Chunk, Stage, TaskGraph
+
+__all__ = [
+    "Application",
+    "Autotuner",
+    "AutotuneEntry",
+    "AutotuneResult",
+    "BTOptimizer",
+    "BTProfiler",
+    "BetterTogether",
+    "Chunk",
+    "DeploymentPlan",
+    "INTERFERENCE",
+    "ISOLATED",
+    "OptimizationResult",
+    "ProfilingTable",
+    "RateConstrainedChoice",
+    "RateTrial",
+    "Schedule",
+    "ScheduleCandidate",
+    "Stage",
+    "TaskGraph",
+    "enumerate_schedules",
+    "interference_ratios",
+    "select_for_rate",
+]

@@ -1,0 +1,182 @@
+"""The BetterTogether end-to-end driver (paper Fig. 2, steps 3-5).
+
+Wires the three components into the fully automated flow:
+
+1. **BT-Profiler** collects the interference-aware profiling table.
+2. **BT-Optimizer** solves for K diverse low-gapness, low-latency
+   candidates.
+3. **Autotuning** executes the top candidates on the device and selects
+   the measured best.
+
+``BetterTogether.run()`` returns a :class:`DeploymentPlan` holding the
+selected schedule, the full candidate log, and enough provenance to
+regenerate every evaluation artifact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.autotuner import Autotuner, AutotuneResult
+from repro.core.optimizer import (
+    DEFAULT_GAP_SLACK,
+    DEFAULT_K,
+    BTOptimizer,
+    OptimizationResult,
+)
+from repro.core.profiler import INTERFERENCE, BTProfiler, ProfilingTable
+from repro.core.schedule import Schedule
+from repro.core.stage import Application
+from repro.runtime.simulator import (
+    SimulatedPipelineExecutor,
+    SimulatedRunResult,
+)
+from repro.soc.platform import Platform
+
+
+@dataclass
+class DeploymentPlan:
+    """Everything BetterTogether produced for one (app, platform) pair."""
+
+    application: Application
+    platform: Platform
+    table: ProfilingTable
+    optimization: OptimizationResult
+    autotune: AutotuneResult
+
+    @property
+    def schedule(self) -> Schedule:
+        """The deployed schedule: autotuning's measured best."""
+        return self.autotune.measured_best.candidate.schedule
+
+    @property
+    def predicted_latency_s(self) -> float:
+        return self.autotune.measured_best.predicted_latency_s
+
+    @property
+    def measured_latency_s(self) -> float:
+        return self.autotune.measured_best.measured_latency_s
+
+    def execute(self, n_tasks: int = 30) -> SimulatedRunResult:
+        """Deploy: stream tasks through the selected pipeline."""
+        executor = SimulatedPipelineExecutor(
+            self.application, self.schedule.chunks(), self.platform
+        )
+        return executor.run(n_tasks)
+
+    def summary(self) -> str:
+        """Human-readable multi-line plan description."""
+        lines = [
+            f"BetterTogether plan: {self.application.name} on "
+            f"{self.platform.display_name}",
+            f"  schedule: {self.schedule.describe(self.application)}",
+            f"  predicted {self.predicted_latency_s * 1e3:.3f} ms, "
+            f"measured {self.measured_latency_s * 1e3:.3f} ms per task",
+            f"  candidates evaluated: {len(self.autotune.entries)} "
+            f"(of {len(self.optimization.candidates)} generated)",
+            f"  autotuning gain over predicted-best: "
+            f"{self.autotune.autotuning_gain:.2f}x",
+        ]
+        return "\n".join(lines)
+
+
+class BetterTogether:
+    """The flexible scheduling framework, end to end.
+
+    Args:
+        platform: Target system specification (Fig. 2 input 2).
+        repetitions: Profiling repetitions per table entry.
+        k: Optimizer candidate count (level 2).
+        gap_slack: Utilization-threshold slack (level 1 filter).
+        autotune_top: How many candidates level 3 actually executes
+            (default: all K, like the paper's 20-candidate campaign).
+        eval_tasks: Tasks streamed per autotuning measurement.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        repetitions: int = 30,
+        k: int = DEFAULT_K,
+        gap_slack: float = DEFAULT_GAP_SLACK,
+        autotune_top: Optional[int] = None,
+        eval_tasks: int = 30,
+    ):
+        self.platform = platform
+        self.profiler = BTProfiler(platform, repetitions=repetitions)
+        self.k = k
+        self.gap_slack = gap_slack
+        self.autotune_top = autotune_top
+        self.eval_tasks = eval_tasks
+
+    def profile(self, application: Application,
+                mode: str = INTERFERENCE) -> ProfilingTable:
+        """Step 3: collect the profiling table."""
+        return self.profiler.profile(application, mode=mode)
+
+    def optimize(self, application: Application,
+                 table: ProfilingTable) -> OptimizationResult:
+        """Step 4: generate candidate schedules (levels 1 + 2)."""
+        optimizer = BTOptimizer(
+            application,
+            table.restricted(self.platform.schedulable_classes()),
+            k=self.k,
+            gap_slack=self.gap_slack,
+        )
+        return optimizer.optimize()
+
+    def autotune(self, application: Application,
+                 optimization: OptimizationResult) -> AutotuneResult:
+        """Step 5 (selection): measure top candidates on the device."""
+        tuner = Autotuner(
+            application, self.platform, eval_tasks=self.eval_tasks
+        )
+        return tuner.tune(optimization, top=self.autotune_top)
+
+    def run(self, application: Application) -> DeploymentPlan:
+        """The fully automated end-to-end flow."""
+        table = self.profile(application)
+        optimization = self.optimize(application, table)
+        autotune = self.autotune(application, optimization)
+        return DeploymentPlan(
+            application=application,
+            platform=self.platform,
+            table=table,
+            optimization=optimization,
+            autotune=autotune,
+        )
+
+    def migrate(self, plan: DeploymentPlan) -> DeploymentPlan:
+        """Re-deploy an existing plan onto *this* framework's platform.
+
+        Extension beyond the paper, motivated by its own portability
+        observation (section 1: schedules are device-specific) and by
+        real deployments that flip power modes at run time: when the
+        target changes, the cheap move is to re-run only level 3 -
+        re-measure the cached candidates on the new platform and pick a
+        new winner - skipping the ~6-minute profiling pass.  When the
+        old candidates reference PU classes the new platform cannot
+        schedule (e.g. migrating off a Pixel's medium cores to a
+        Jetson), the full flow runs instead.
+
+        Returns a new plan; the input plan is untouched.
+        """
+        schedulable = set(self.platform.schedulable_classes())
+        usable = [
+            candidate
+            for candidate in plan.optimization.candidates
+            if set(candidate.schedule.pu_classes_used) <= schedulable
+        ]
+        if not usable:
+            return self.run(plan.application)
+        autotune = Autotuner(
+            plan.application, self.platform, eval_tasks=self.eval_tasks
+        ).tune(usable, top=self.autotune_top)
+        return DeploymentPlan(
+            application=plan.application,
+            platform=self.platform,
+            table=plan.table,
+            optimization=plan.optimization,
+            autotune=autotune,
+        )

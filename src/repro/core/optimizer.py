@@ -1,0 +1,392 @@
+"""BT-Optimizer (paper section 3.3): three-level schedule optimization.
+
+Level 1 - *Utilization*: encode the assignment problem as constraints
+(C1 exactly-one-PU-per-stage, C2 contiguity, optional C3 per-chunk runtime
+bounds) and minimize **gapness** ``T_max - T_min`` (objective O1).  The
+key insight: low-gapness schedules keep every PU busy, which matches the
+co-run conditions the interference-aware profiling table was collected
+under, so their predictions are trustworthy.
+
+Level 2 - *Latency*: enumerate ``K`` diverse candidates by repeatedly
+solving for minimum predicted latency among schedules within the gapness
+threshold, each time blocking the previous solution (constraint C5-ell).
+Candidates emerge sorted by predicted latency and cluster into
+*performance tiers*.
+
+Level 3 - *Autotuning* lives in :mod:`repro.core.autotuner`: the top
+candidates are actually executed and the measured best wins.
+
+The constraint encoding targets :mod:`repro.solver` (the z3 stand-in);
+solver invocations on paper-scale instances (N=9, M=4) complete well
+under the paper's 50 ms figure.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.profiler import ProfilingTable
+from repro.core.schedule import Schedule
+from repro.core.stage import Application
+from repro.errors import SchedulingError
+from repro.solver import Model, Solver
+
+#: Number of diverse candidates level 2 produces (paper: K = 20).
+DEFAULT_K = 20
+#: Gapness slack relative to the level-1 optimum, as a fraction of the
+#: optimal T_max.  Schedules above the threshold are filtered out as
+#: "underutilizing the device".
+DEFAULT_GAP_SLACK = 0.10
+
+
+@dataclass(frozen=True)
+class ScheduleCandidate:
+    """One level-2 candidate with its model predictions."""
+
+    rank: int
+    schedule: Schedule
+    predicted_latency_s: float
+    gapness_s: float
+
+
+@dataclass
+class OptimizationResult:
+    """Everything BT-Optimizer produces for one (app, platform) pair."""
+
+    application: str
+    platform: str
+    candidates: List[ScheduleCandidate]
+    gap_threshold_s: float
+    utilization_optimum: Optional[ScheduleCandidate]
+    solver_invocations: int = 0
+    solver_wall_s: float = 0.0
+
+    @property
+    def best(self) -> ScheduleCandidate:
+        """The predicted-best candidate (level-2 output; level 3 may
+        override it with a measured pick)."""
+        if not self.candidates:
+            raise SchedulingError("optimization produced no candidates")
+        return self.candidates[0]
+
+    def tiers(self, tolerance: float = 0.06) -> List[List[ScheduleCandidate]]:
+        """Group candidates into performance tiers: consecutive candidates
+        whose predicted latencies sit within ``tolerance`` of the tier's
+        first member (the clustering the paper observes in section 3.3)."""
+        tiers: List[List[ScheduleCandidate]] = []
+        for candidate in self.candidates:
+            if (
+                tiers
+                and candidate.predicted_latency_s
+                <= tiers[-1][0].predicted_latency_s * (1.0 + tolerance)
+            ):
+                tiers[-1].append(candidate)
+            else:
+                tiers.append([candidate])
+        return tiers
+
+
+class BTOptimizer:
+    """Levels 1 and 2 of the BetterTogether optimization.
+
+    Args:
+        application: Provides stage names/order.
+        table: Profiling table (interference-aware for the real flow;
+            prior-work comparisons pass an isolated table).
+        pu_classes: Schedulable PU classes (the affinity map's output);
+            defaults to the table's columns.
+        k: Number of candidates for level 2.
+        gap_slack: Gapness threshold slack (fraction of optimal T_max).
+        max_chunk_time_s / min_chunk_time_s: Optional hard per-chunk
+            bounds (constraints C3a / C3b).
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        table: ProfilingTable,
+        pu_classes: Optional[Sequence[str]] = None,
+        k: int = DEFAULT_K,
+        gap_slack: float = DEFAULT_GAP_SLACK,
+        max_chunk_time_s: Optional[float] = None,
+        min_chunk_time_s: Optional[float] = None,
+    ):
+        if k < 1:
+            raise SchedulingError("k must be >= 1")
+        self.application = application
+        self.table = table
+        self.pu_classes = tuple(pu_classes or table.pu_classes)
+        missing = set(self.pu_classes) - set(table.pu_classes)
+        if missing:
+            raise SchedulingError(
+                f"table has no columns for PUs {sorted(missing)}"
+            )
+        if application.num_stages != len(table.stage_names):
+            raise SchedulingError(
+                "profiling table does not match the application's stages"
+            )
+        self.k = k
+        self.gap_slack = gap_slack
+        self.max_chunk_time_s = max_chunk_time_s
+        self.min_chunk_time_s = min_chunk_time_s
+        # Dense latency matrix for fast objective evaluation.
+        self._lat = [
+            [table.latency(stage, pu) for pu in self.pu_classes]
+            for stage in application.stage_names
+        ]
+        self.solver_invocations = 0
+        self.solver_wall_s = 0.0
+
+    # ------------------------------------------------------------------
+    # Constraint encoding
+    # ------------------------------------------------------------------
+    def _build_model(self) -> Tuple[Model, List[List]]:
+        """Encode C1 + C2 (+ optional C3) over x[i][c] booleans."""
+        model = Model()
+        n = self.application.num_stages
+        m = len(self.pu_classes)
+        x = [
+            [model.new_bool(f"x_{i}_{c}") for c in range(m)]
+            for i in range(n)
+        ]
+        # C1: exactly one PU per stage.
+        for i in range(n):
+            model.add_exactly_one(x[i])
+        # C2: contiguity - (x[i,c] & x[k,c]) => x[j,c] for i < j < k.
+        for c in range(m):
+            for i in range(n):
+                for k in range(i + 2, n):
+                    for j in range(i + 1, k):
+                        model.add_implication([x[i][c], x[k][c]], x[j][c])
+        # C3a: per-chunk upper bound via pseudo-boolean sums per PU (a
+        # chunk's runtime is the sum of that PU's assigned stages).
+        if self.max_chunk_time_s is not None:
+            for c in range(m):
+                model.add_linear_le(
+                    [(x[i][c], self._lat[i][c]) for i in range(n)],
+                    self.max_chunk_time_s,
+                )
+        return model, x
+
+    def _decode(self, values: Sequence[int],
+                x: List[List]) -> Tuple[int, ...]:
+        """Assignment (PU column index per stage) from solver values."""
+        assignment = []
+        for row in x:
+            for c, var in enumerate(row):
+                if values[var.index] == 1:
+                    assignment.append(c)
+                    break
+        return tuple(assignment)
+
+    def _chunk_sums(self, assignment: Tuple[int, ...]) -> List[float]:
+        sums: List[float] = []
+        previous = None
+        for i, c in enumerate(assignment):
+            if c != previous:
+                sums.append(0.0)
+                previous = c
+            sums[-1] += self._lat[i][c]
+        return sums
+
+    def _gapness(self, assignment: Tuple[int, ...]) -> float:
+        sums = self._chunk_sums(assignment)
+        return max(sums) - min(sums)
+
+    def _latency(self, assignment: Tuple[int, ...]) -> float:
+        return max(self._chunk_sums(assignment))
+
+    def _meets_chunk_bounds(self, assignment: Tuple[int, ...]) -> bool:
+        sums = self._chunk_sums(assignment)
+        if self.max_chunk_time_s is not None and max(sums) > self.max_chunk_time_s:
+            return False
+        if self.min_chunk_time_s is not None and min(sums) < self.min_chunk_time_s:
+            return False
+        return True
+
+    def _to_schedule(self, assignment: Tuple[int, ...]) -> Schedule:
+        return Schedule.from_assignments(
+            [self.pu_classes[c] for c in assignment]
+        )
+
+    # ------------------------------------------------------------------
+    # Branch-and-bound lower bounds
+    #
+    # The solver branches stage-major, so a partial assignment is a
+    # prefix of decided stages.  Every chunk in that prefix except the
+    # last is *closed*: contiguity (C2) forbids its PU from reappearing,
+    # so its runtime is final.  That makes the bounds below admissible
+    # and keeps each solver invocation well under the paper's 50 ms.
+    # ------------------------------------------------------------------
+    def _closed_chunk_sums(self, values: Sequence[int],
+                           x: List[List]) -> List[float]:
+        """Chunk runtimes finalized by the decided prefix."""
+        sums: List[float] = []
+        previous = None
+        for i, row in enumerate(x):
+            decided = None
+            for c, var in enumerate(row):
+                if values[var.index] == 1:
+                    decided = c
+                    break
+            if decided is None:
+                break
+            if decided != previous:
+                sums.append(0.0)
+                previous = decided
+            sums[-1] += self._lat[i][decided]
+        if sums:
+            sums.pop()  # the last prefix chunk may still grow
+        return sums
+
+    def _latency_lower_bound(self, x: List[List]):
+        def bound(values: Sequence[int]) -> float:
+            closed = self._closed_chunk_sums(values, x)
+            return max(closed) if closed else 0.0
+        return bound
+
+    def _gapness_lower_bound(self, x: List[List]):
+        def bound(values: Sequence[int]) -> float:
+            closed = self._closed_chunk_sums(values, x)
+            if len(closed) < 2:
+                return 0.0
+            # Any completion's T_max >= max(closed) and T_min <= min(closed).
+            return max(closed) - min(closed)
+        return bound
+
+    # ------------------------------------------------------------------
+    # Level 1: utilization (gapness) optimum
+    # ------------------------------------------------------------------
+    def optimize_utilization(self) -> ScheduleCandidate:
+        """Solve ``min (T_max - T_min)`` (objective O1)."""
+        model, x = self._build_model()
+
+        def objective(values: Sequence[int]) -> float:
+            assignment = self._decode(values, x)
+            if not self._meets_chunk_bounds(assignment):
+                return math.inf
+            return self._gapness(assignment)
+
+        solver = Solver(model)
+        result = solver.minimize(
+            objective, lower_bound=self._gapness_lower_bound(x)
+        )
+        self.solver_invocations += 1
+        self.solver_wall_s += solver.stats.wall_seconds
+        if result is None:
+            raise SchedulingError("utilization optimization is infeasible")
+        solution, gap = result
+        if math.isinf(gap):
+            raise SchedulingError(
+                "no schedule satisfies the per-chunk runtime bounds (C3)"
+            )
+        assignment = self._decode_solution(solution, x)
+        return ScheduleCandidate(
+            rank=0,
+            schedule=self._to_schedule(assignment),
+            predicted_latency_s=self._latency(assignment),
+            gapness_s=gap,
+        )
+
+    def _decode_solution(self, solution, x) -> Tuple[int, ...]:
+        assignment = []
+        for row in x:
+            for c, var in enumerate(row):
+                if solution[var]:
+                    assignment.append(c)
+                    break
+        return tuple(assignment)
+
+    # ------------------------------------------------------------------
+    # Level 2: latency, K diverse candidates via blocking clauses
+    # ------------------------------------------------------------------
+    def optimize(self) -> OptimizationResult:
+        """Run levels 1 and 2; candidates sorted by predicted latency."""
+        utilization = self.optimize_utilization()
+        threshold = (
+            utilization.gapness_s
+            + self.gap_slack * utilization.predicted_latency_s
+        )
+
+        model, x = self._build_model()
+
+        def filtered_objective(values: Sequence[int]) -> float:
+            assignment = self._decode(values, x)
+            if not self._meets_chunk_bounds(assignment):
+                return math.inf
+            if self._gapness(assignment) > threshold + 1e-12:
+                return math.inf
+            return self._latency(assignment)
+
+        def unfiltered_objective(values: Sequence[int]) -> float:
+            assignment = self._decode(values, x)
+            if not self._meets_chunk_bounds(assignment):
+                return math.inf
+            return self._latency(assignment)
+
+        candidates: List[ScheduleCandidate] = []
+        latency_bound = self._latency_lower_bound(x)
+        # Phase 2a enumerates within the utilization threshold; when the
+        # filtered space runs dry before K candidates exist (small
+        # platforms like the Jetson have only ~2(N-1)+2 contiguous
+        # schedules in total), phase 2b tops the set up without the
+        # filter so autotuning still sees K diverse options.
+        objective = filtered_objective
+        for rank in range(self.k):
+            solver = Solver(model)
+            result = solver.minimize(objective, lower_bound=latency_bound)
+            self.solver_invocations += 1
+            self.solver_wall_s += solver.stats.wall_seconds
+            exhausted = result is None or math.isinf(result[1])
+            if exhausted:
+                if objective is unfiltered_objective:
+                    break  # blocking clauses truly exhausted the space
+                objective = unfiltered_objective
+                solver = Solver(model)
+                result = solver.minimize(
+                    objective, lower_bound=latency_bound
+                )
+                self.solver_invocations += 1
+                self.solver_wall_s += solver.stats.wall_seconds
+                if result is None or math.isinf(result[1]):
+                    break
+            solution, latency = result
+            assignment = self._decode_solution(solution, x)
+            candidates.append(
+                ScheduleCandidate(
+                    rank=rank,
+                    schedule=self._to_schedule(assignment),
+                    predicted_latency_s=latency,
+                    gapness_s=self._gapness(assignment),
+                )
+            )
+            # C5-ell: forbid this exact assignment.
+            model.forbid_assignment(
+                [x[i][c] for i, c in enumerate(assignment)]
+            )
+        # The paper sorts the candidate set by predicted latency (T_max)
+        # at the end; the unfiltered top-up phase can otherwise leave a
+        # low-latency, high-gapness schedule after a filtered one.
+        candidates.sort(
+            key=lambda c: (c.predicted_latency_s, c.gapness_s)
+        )
+        candidates = [
+            ScheduleCandidate(
+                rank=rank,
+                schedule=c.schedule,
+                predicted_latency_s=c.predicted_latency_s,
+                gapness_s=c.gapness_s,
+            )
+            for rank, c in enumerate(candidates)
+        ]
+        return OptimizationResult(
+            application=self.application.name,
+            platform=self.table.platform,
+            candidates=candidates,
+            gap_threshold_s=threshold,
+            utilization_optimum=utilization,
+            solver_invocations=self.solver_invocations,
+            solver_wall_s=self.solver_wall_s,
+        )

@@ -1,0 +1,236 @@
+"""BT-Profiler (paper section 3.2): interference-aware black-box profiling.
+
+Profiles every stage on every PU class and aggregates mean latencies into
+a 2-D :class:`ProfilingTable` (rows: stages, columns: PUs).  Two execution
+modes, exactly as the paper defines them:
+
+* ``isolated`` - the stage runs alone on its PU; nothing else executes.
+  This is how prior work builds its (miscomposing) models.
+* ``interference`` - while the stage runs on the measuring PU, *all other
+  PUs concurrently execute the same computation* (their own kernel variant
+  of the same stage), simulating realistic intra-application interference.
+  Only the measuring PU's latency is recorded.
+
+The profiler is strictly black-box: it asks the platform to *run and
+time* kernels (here: the virtual SoC's ground-truth oracle plus timer
+noise) and never inspects cost-model internals.  Each entry averages
+``repetitions`` noisy measurements (30 in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+from repro.core.stage import Application
+from repro.errors import ProfilingError
+from repro.soc.platform import Platform
+from repro.soc.timer import mean_of_measurements
+
+ISOLATED = "isolated"
+INTERFERENCE = "interference"
+MODES = (ISOLATED, INTERFERENCE)
+
+
+@dataclass(frozen=True)
+class ProfilingTable:
+    """Stage x PU mean-latency table (seconds).
+
+    Attributes:
+        application: Application name the table describes.
+        platform: Platform name it was collected on.
+        mode: ``isolated`` or ``interference``.
+        entries: (stage name, pu class) -> mean latency in seconds.
+        stage_names: Row order.
+        pu_classes: Column order.
+        stddevs: Optional (stage, pu) -> sample standard deviation of the
+            repeated measurements; empty when unavailable (e.g. loaded
+            from an artifact that predates it).
+    """
+
+    application: str
+    platform: str
+    mode: str
+    entries: Mapping[Tuple[str, str], float]
+    stage_names: Tuple[str, ...]
+    pu_classes: Tuple[str, ...]
+    stddevs: Mapping[Tuple[str, str], float] = field(default_factory=dict)
+
+    def latency(self, stage: str, pu_class: str) -> float:
+        """Mean latency of ``stage`` on ``pu_class`` in seconds."""
+        try:
+            return self.entries[(stage, pu_class)]
+        except KeyError:
+            raise ProfilingError(
+                f"no profile entry for stage {stage!r} on {pu_class!r}"
+            ) from None
+
+    def stddev(self, stage: str, pu_class: str) -> float:
+        """Sample standard deviation of the entry's measurements (0.0
+        when statistics were not collected)."""
+        return self.stddevs.get((stage, pu_class), 0.0)
+
+    def noise_fraction(self, stage: str, pu_class: str) -> float:
+        """Relative measurement noise, std / mean - the quantity the
+        paper's 30-repetition averaging suppresses."""
+        mean = self.latency(stage, pu_class)
+        if mean <= 0:
+            return 0.0
+        return self.stddev(stage, pu_class) / mean
+
+    def row(self, stage: str) -> Dict[str, float]:
+        """All PU latencies for one stage."""
+        return {pu: self.latency(stage, pu) for pu in self.pu_classes}
+
+    def column(self, pu_class: str) -> Dict[str, float]:
+        """All stage latencies on one PU class."""
+        return {s: self.latency(s, pu_class) for s in self.stage_names}
+
+    def best_pu(self, stage: str) -> str:
+        """The PU class with the lowest profiled latency for a stage."""
+        return min(self.pu_classes, key=lambda pu: self.latency(stage, pu))
+
+    def restricted(self, pu_classes: Iterable[str]) -> "ProfilingTable":
+        """A sub-table over a subset of PU columns (used to drop
+        unpinnable clusters before optimization)."""
+        keep = tuple(pu for pu in self.pu_classes if pu in set(pu_classes))
+        if not keep:
+            raise ProfilingError("restriction removes every PU column")
+        entries = {
+            (stage, pu): self.entries[(stage, pu)]
+            for stage in self.stage_names
+            for pu in keep
+        }
+        stddevs = {
+            key: value
+            for key, value in self.stddevs.items()
+            if key[1] in keep
+        }
+        return ProfilingTable(
+            application=self.application,
+            platform=self.platform,
+            mode=self.mode,
+            entries=entries,
+            stage_names=self.stage_names,
+            pu_classes=keep,
+            stddevs=stddevs,
+        )
+
+    def to_rows(self) -> List[List[str]]:
+        """Render as a text table (stage rows, PU columns, milliseconds)."""
+        header = ["stage"] + [str(pu) for pu in self.pu_classes]
+        rows = [header]
+        for stage in self.stage_names:
+            rows.append(
+                [stage]
+                + [f"{self.latency(stage, pu) * 1e3:.3f}"
+                   for pu in self.pu_classes]
+            )
+        return rows
+
+
+@dataclass
+class BTProfiler:
+    """Collects profiling tables on a (virtual) platform.
+
+    Args:
+        platform: The target system (Fig. 2 input 2).
+        repetitions: Timed repetitions per entry (paper: 30).
+    """
+
+    platform: Platform
+    repetitions: int = 30
+
+    def __post_init__(self) -> None:
+        if self.repetitions < 1:
+            raise ProfilingError("repetitions must be >= 1")
+
+    # ------------------------------------------------------------------
+    def profile(self, application: Application,
+                mode: str = INTERFERENCE) -> ProfilingTable:
+        """Build the full stage x PU table in the given mode."""
+        if mode not in MODES:
+            raise ProfilingError(
+                f"unknown profiling mode {mode!r}; expected one of {MODES}"
+            )
+        pu_classes = self.platform.pu_classes()
+        entries: Dict[Tuple[str, str], float] = {}
+        stddevs: Dict[Tuple[str, str], float] = {}
+        for stage in application.stages:
+            for pu_class in pu_classes:
+                mean, std = self._measure_stage(
+                    application, stage.name, pu_class, mode
+                )
+                entries[(stage.name, pu_class)] = mean
+                stddevs[(stage.name, pu_class)] = std
+        return ProfilingTable(
+            application=application.name,
+            platform=self.platform.name,
+            mode=mode,
+            entries=entries,
+            stage_names=application.stage_names,
+            pu_classes=pu_classes,
+            stddevs=stddevs,
+        )
+
+    def profile_both(
+        self, application: Application
+    ) -> Tuple[ProfilingTable, ProfilingTable]:
+        """Convenience: (isolated, interference) pair, used by the Fig. 7
+        interference study."""
+        return (
+            self.profile(application, mode=ISOLATED),
+            self.profile(application, mode=INTERFERENCE),
+        )
+
+    # ------------------------------------------------------------------
+    def _measure_stage(self, application: Application, stage_name: str,
+                       pu_class: str, mode: str) -> Tuple[float, float]:
+        stage = application.stage(stage_name)
+        if mode == ISOLATED:
+            co_load, other_demand = 0.0, 0.0
+        else:
+            co_load = 1.0
+            other_demand = sum(
+                self.platform.bandwidth_demand(stage.work, other)
+                for other in self.platform.pu_classes()
+                if other != pu_class
+            )
+        true_seconds = self.platform.true_time(
+            stage.work, pu_class,
+            co_load=co_load, other_demand_gbps=other_demand,
+        )
+        rng = self.platform.measurement_rng(
+            "profile", application.name, stage_name, pu_class, mode
+        )
+        samples = [
+            self.platform.measure(true_seconds, rng)
+            for _ in range(self.repetitions)
+        ]
+        mean = mean_of_measurements(samples)
+        if len(samples) < 2:
+            return mean, 0.0
+        variance = sum((x - mean) ** 2 for x in samples) / (
+            len(samples) - 1
+        )
+        return mean, variance**0.5
+
+
+def interference_ratios(
+    isolated: ProfilingTable, interference: ProfilingTable
+) -> Dict[str, float]:
+    """Average interference-heavy / isolated latency ratio per PU class
+    (the quantity Fig. 7 plots; > 1 is a slowdown under contention)."""
+    if isolated.stage_names != interference.stage_names:
+        raise ProfilingError("tables cover different stages")
+    if isolated.pu_classes != interference.pu_classes:
+        raise ProfilingError("tables cover different PUs")
+    ratios: Dict[str, float] = {}
+    for pu_class in isolated.pu_classes:
+        per_stage = [
+            interference.latency(stage, pu_class)
+            / isolated.latency(stage, pu_class)
+            for stage in isolated.stage_names
+        ]
+        ratios[pu_class] = sum(per_stage) / len(per_stage)
+    return ratios

@@ -1,0 +1,193 @@
+"""Pipeline schedules: stage-to-PU assignments and their predicted cost.
+
+A :class:`Schedule` is the optimizer's output (paper Fig. 2 step 4): one
+PU class per stage, with the contiguity property (constraint C2) that all
+stages on a PU form a single chunk.  The class computes everything the
+optimizer reasons about: the chunk decomposition, per-chunk predicted
+runtimes from a profiling table, the bottleneck latency ``T_max``, and
+the *gapness* ``T_max - T_min`` (objective O1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from repro.core.profiler import ProfilingTable
+from repro.core.stage import Application, Chunk
+from repro.errors import SchedulingError
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """An assignment of pipeline stages to PU classes.
+
+    Attributes:
+        assignments: ``assignments[i]`` is the PU class of stage ``i``.
+    """
+
+    assignments: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.assignments:
+            raise SchedulingError("a schedule needs at least one stage")
+        if not self.is_contiguous():
+            raise SchedulingError(
+                f"assignment {self.assignments} violates contiguity (C2): "
+                "stages on one PU must form a single chunk"
+            )
+
+    @classmethod
+    def from_assignments(cls, assignments: Sequence[str]) -> "Schedule":
+        return cls(assignments=tuple(assignments))
+
+    @classmethod
+    def homogeneous(cls, num_stages: int, pu_class: str) -> "Schedule":
+        """All stages on one PU (the paper's CPU-only / GPU-only
+        baselines)."""
+        if num_stages < 1:
+            raise SchedulingError("num_stages must be >= 1")
+        return cls(assignments=(pu_class,) * num_stages)
+
+    # ------------------------------------------------------------------
+    def is_contiguous(self) -> bool:
+        """Each PU class appears as one contiguous run (constraint C2)."""
+        seen: List[str] = []
+        for pu_class in self.assignments:
+            if seen and seen[-1] == pu_class:
+                continue
+            if pu_class in seen:
+                return False
+            seen.append(pu_class)
+        return True
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.assignments)
+
+    @property
+    def pu_classes_used(self) -> Tuple[str, ...]:
+        """Distinct PUs in pipeline order."""
+        out: List[str] = []
+        for pu_class in self.assignments:
+            if not out or out[-1] != pu_class:
+                out.append(pu_class)
+        return tuple(out)
+
+    def chunks(self) -> List[Chunk]:
+        """Maximal contiguous runs, in pipeline order."""
+        chunks: List[Chunk] = []
+        start = 0
+        for index in range(1, self.num_stages + 1):
+            boundary = (
+                index == self.num_stages
+                or self.assignments[index] != self.assignments[start]
+            )
+            if boundary:
+                chunks.append(
+                    Chunk(start=start, stop=index,
+                          pu_class=self.assignments[start])
+                )
+                start = index
+        return chunks
+
+    # ------------------------------------------------------------------
+    # Model predictions from a profiling table
+    # ------------------------------------------------------------------
+    def chunk_times(self, application: Application,
+                    table: ProfilingTable) -> Dict[Chunk, float]:
+        """Predicted runtime of each chunk: the sum of its stages'
+        profiled latencies on the chunk's PU."""
+        self._check_application(application)
+        times: Dict[Chunk, float] = {}
+        for chunk in self.chunks():
+            times[chunk] = sum(
+                table.latency(application.stages[i].name, chunk.pu_class)
+                for i in chunk.stage_indices
+            )
+        return times
+
+    def predicted_latency(self, application: Application,
+                          table: ProfilingTable) -> float:
+        """``T_max``: the bottleneck chunk's runtime - the pipeline's
+        steady-state per-task latency under the model."""
+        return max(self.chunk_times(application, table).values())
+
+    def gapness(self, application: Application,
+                table: ProfilingTable) -> float:
+        """``T_max - T_min`` (objective O1): low gapness means every PU in
+        the pipeline stays busy, i.e. high utilization."""
+        times = self.chunk_times(application, table).values()
+        return max(times) - min(times)
+
+    def predicted_serial_latency(self, application: Application,
+                                 table: ProfilingTable) -> float:
+        """Sum of all stage latencies - the unpipelined execution time."""
+        self._check_application(application)
+        return sum(
+            table.latency(stage.name, pu_class)
+            for stage, pu_class in zip(application.stages, self.assignments)
+        )
+
+    def _check_application(self, application: Application) -> None:
+        if application.num_stages != self.num_stages:
+            raise SchedulingError(
+                f"schedule has {self.num_stages} stages, application "
+                f"{application.name!r} has {application.num_stages}"
+            )
+
+    # ------------------------------------------------------------------
+    def describe(self, application: Application = None) -> str:
+        """Compact rendering like ``[morton..sort]@big | [unique]@gpu``."""
+        parts = []
+        for chunk in self.chunks():
+            if application is not None:
+                names = [
+                    application.stages[i].name for i in chunk.stage_indices
+                ]
+                label = (
+                    names[0] if len(names) == 1
+                    else f"{names[0]}..{names[-1]}"
+                )
+            else:
+                label = (
+                    str(chunk.start) if len(chunk) == 1
+                    else f"{chunk.start}-{chunk.stop - 1}"
+                )
+            parts.append(f"[{label}]@{chunk.pu_class}")
+        return " | ".join(parts)
+
+    def __str__(self) -> str:
+        return "-".join(self.assignments)
+
+
+def enumerate_schedules(num_stages: int,
+                        pu_classes: Sequence[str]) -> List[Schedule]:
+    """Every contiguity-respecting schedule (exhaustive reference).
+
+    Used by tests to validate the solver-based optimizer: a schedule is a
+    composition of the stage sequence into k contiguous chunks labelled
+    with k distinct PU classes, so the space is small even though the raw
+    assignment space is ``M^N`` (the paper's 262K example for N=9, M=4).
+    """
+    if num_stages < 1:
+        raise SchedulingError("num_stages must be >= 1")
+    pus = list(dict.fromkeys(pu_classes))
+    results: List[Schedule] = []
+
+    def extend(position: int, remaining: List[str],
+               acc: List[Tuple[int, str]]) -> None:
+        if position == num_stages:
+            assignments: List[str] = []
+            for length, pu_class in acc:
+                assignments.extend([pu_class] * length)
+            results.append(Schedule.from_assignments(assignments))
+            return
+        for length in range(1, num_stages - position + 1):
+            for index, pu_class in enumerate(remaining):
+                rest = remaining[:index] + remaining[index + 1:]
+                extend(position + length, rest,
+                       acc + [(length, pu_class)])
+
+    extend(0, pus, [])
+    return results

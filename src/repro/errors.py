@@ -1,0 +1,52 @@
+"""Exception hierarchy for the BetterTogether reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class at the API boundary.  Subpackages raise the most specific
+subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by this library."""
+
+
+class SolverError(ReproError):
+    """Base class for constraint-solver errors."""
+
+
+class InfeasibleError(SolverError):
+    """Raised when a constraint model has no satisfying assignment."""
+
+
+class SolverTimeoutError(SolverError):
+    """Raised when the solver exhausts its node or time budget."""
+
+
+class ModellingError(SolverError):
+    """Raised for ill-formed constraint models (e.g. unknown variables)."""
+
+
+class PlatformError(ReproError):
+    """Raised for invalid platform specifications or unknown platforms."""
+
+
+class KernelError(ReproError):
+    """Raised when a compute kernel is misused (bad shapes, backends...)."""
+
+
+class SchedulingError(ReproError):
+    """Raised when a schedule is malformed or cannot be constructed."""
+
+
+class ProfilingError(ReproError):
+    """Raised when profiling inputs are inconsistent."""
+
+
+class PipelineError(ReproError):
+    """Raised by the runtime when pipeline execution fails."""
+
+
+class QueueClosedError(PipelineError):
+    """Raised when pushing to / popping from a closed SPSC queue."""

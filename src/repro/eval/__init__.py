@@ -1,0 +1,38 @@
+"""Evaluation: metrics, analysis tools, and per-figure experiment
+drivers."""
+
+from repro.eval.analysis import (
+    ScheduleExplanation,
+    SpeedupBounds,
+    StageAffinity,
+    explain_schedule,
+    format_affinity_report,
+    format_explanation,
+    speedup_bounds,
+    stage_affinity_report,
+)
+from repro.eval.metrics import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+    pearson_correlation,
+    safe_pearson,
+    speedup,
+)
+
+__all__ = [
+    "ScheduleExplanation",
+    "SpeedupBounds",
+    "StageAffinity",
+    "arithmetic_mean",
+    "explain_schedule",
+    "format_affinity_report",
+    "format_explanation",
+    "speedup_bounds",
+    "stage_affinity_report",
+    "format_table",
+    "geometric_mean",
+    "pearson_correlation",
+    "safe_pearson",
+    "speedup",
+]

@@ -1,0 +1,68 @@
+"""One driver per paper table/figure; see DESIGN.md's experiment index."""
+
+from repro.eval.experiments.common import (
+    APP_LABELS,
+    APP_ORDER,
+    PLATFORM_LABELS,
+    ExperimentScale,
+    build_applications,
+    evaluation_platforms,
+    measure_candidates,
+)
+from repro.eval.experiments.fig1 import Fig1Result, format_fig1, run_fig1
+from repro.eval.experiments.fig4 import Fig4Result, format_fig4, run_fig4
+from repro.eval.experiments.fig5 import Fig5Result, format_fig5, run_fig5
+from repro.eval.experiments.fig6 import Fig6Result, format_fig6, run_fig6
+from repro.eval.experiments.fig7 import (
+    PAPER_RATIOS,
+    Fig7Result,
+    format_fig7,
+    run_fig7,
+)
+from repro.eval.experiments.table3 import (
+    PAPER_WINNERS,
+    Table3Result,
+    format_table3,
+    run_table3,
+)
+from repro.eval.experiments.table4 import (
+    Table4Result,
+    format_table4,
+    run_table4,
+)
+from repro.eval.experiments.tables12 import format_table1, format_table2
+
+__all__ = [
+    "APP_LABELS",
+    "APP_ORDER",
+    "ExperimentScale",
+    "Fig1Result",
+    "Fig4Result",
+    "Fig5Result",
+    "Fig6Result",
+    "Fig7Result",
+    "PAPER_RATIOS",
+    "PAPER_WINNERS",
+    "PLATFORM_LABELS",
+    "Table3Result",
+    "Table4Result",
+    "build_applications",
+    "evaluation_platforms",
+    "format_fig1",
+    "format_fig4",
+    "format_fig5",
+    "format_fig6",
+    "format_fig7",
+    "format_table1",
+    "format_table2",
+    "format_table3",
+    "format_table4",
+    "measure_candidates",
+    "run_fig1",
+    "run_fig4",
+    "run_fig5",
+    "run_fig6",
+    "run_fig7",
+    "run_table3",
+    "run_table4",
+]

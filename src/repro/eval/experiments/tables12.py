@@ -1,0 +1,43 @@
+"""Tables 1 and 2: application characteristics and platform specs.
+
+Static descriptions regenerated from the live objects, so the docs can
+never drift from the code.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.eval.experiments.common import (
+    APP_ORDER,
+    ExperimentScale,
+    build_applications,
+    evaluation_platforms,
+)
+from repro.eval.metrics import format_table
+
+
+def format_table1(scale: ExperimentScale = None) -> str:
+    scale = scale or ExperimentScale.paper()
+    applications = build_applications(scale)
+    rows: List[List[str]] = [
+        ["Application", "Input", "Stages", "Characteristics"]
+    ]
+    for name in APP_ORDER:
+        app = applications[name]
+        rows.append([
+            app.name, app.input_kind, str(app.num_stages), app.description,
+        ])
+    return "Table 1 - evaluated applications\n" + format_table(rows)
+
+
+def format_table2() -> str:
+    rows: List[List[str]] = [["Device", "CPU (cores @ GHz)", "GPU"]]
+    for platform in evaluation_platforms():
+        cpu_text = "; ".join(
+            f"{c.cores}x {c.model} @ {c.freq_ghz:.2f}"
+            for c in platform.clusters.values()
+        )
+        gpu_text = platform.gpu.model if platform.gpu else "-"
+        rows.append([platform.display_name, cpu_text, gpu_text])
+    return "Table 2 - evaluated platforms\n" + format_table(rows)

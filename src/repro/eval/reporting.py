@@ -1,0 +1,66 @@
+"""Regenerate every evaluation artifact as one text report.
+
+``generate_report()`` runs the full paper-scale evaluation (all tables
+and figures) and renders them with the same formatters the benchmarks
+use; EXPERIMENTS.md embeds its output so the documented numbers always
+come from the code.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, List, Optional
+
+from repro.eval.experiments import (
+    ExperimentScale,
+    format_fig1,
+    format_fig4,
+    format_fig5,
+    format_fig6,
+    format_fig7,
+    format_table1,
+    format_table2,
+    format_table3,
+    format_table4,
+    run_fig1,
+    run_fig4,
+    run_fig5,
+    run_fig6,
+    run_fig7,
+    run_table3,
+    run_table4,
+)
+
+
+def generate_report(
+    scale: Optional[ExperimentScale] = None,
+    progress: Optional[Callable[[str], None]] = None,
+) -> str:
+    """Run every experiment and return the combined text report.
+
+    Args:
+        scale: Experiment sizing; defaults to the paper configuration.
+        progress: Optional callback invoked with a status line before
+            each experiment (e.g. ``print``).
+    """
+    scale = scale or ExperimentScale.paper()
+    sections: List[str] = []
+
+    def section(name: str, producer: Callable[[], str]) -> None:
+        if progress is not None:
+            progress(f"running {name}...")
+        start = time.perf_counter()
+        body = producer()
+        elapsed = time.perf_counter() - start
+        sections.append(f"{body}\n[{name}: {elapsed:.1f}s]")
+
+    section("table1", lambda: format_table1(scale))
+    section("table2", format_table2)
+    section("fig1", lambda: format_fig1(run_fig1(scale)))
+    section("table3", lambda: format_table3(run_table3(scale)))
+    section("fig4", lambda: format_fig4(run_fig4(scale)))
+    section("fig5", lambda: format_fig5(run_fig5(scale)))
+    section("fig6", lambda: format_fig6(run_fig6(scale)))
+    section("table4", lambda: format_table4(run_table4(scale)))
+    section("fig7", lambda: format_fig7(run_fig7(scale)))
+    return "\n\n".join(sections)

@@ -1,0 +1,96 @@
+"""Common kernel machinery.
+
+A *compute kernel* (paper section 3.1) is one backend implementation of a
+stage.  Here each stage ships a ``*_cpu`` and a ``*_gpu`` function pair:
+
+* the **cpu** variant is written the way the paper's OpenMP kernels are -
+  straightforward (vectorized) loops over the data;
+* the **gpu** variant mirrors how the CUDA/Vulkan shader is structured -
+  grid-stride maps, multi-pass histogram sorts, up/down-sweep scans - so
+  that the *algorithm* matches what actually runs on a device even though
+  both produce bit-identical results on the host.
+
+Both run on numpy arrays in a shared :class:`dict`-like task, the stand-in
+for the paper's ``UsmBuffer`` zero-copy unified memory (section 3.1).
+
+Each kernel module also exports a work-profile builder used by the virtual
+SoC's cost model.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import KernelError
+
+#: Backend identifiers, matching the paper's terminology.
+CPU = "cpu"
+GPU = "gpu"
+BACKENDS = (CPU, GPU)
+
+#: Simulated GPU grid geometry for grid-stride loops (the numbers shape the
+#: chunking of the gpu variants, not their results).
+GPU_BLOCK = 256
+GPU_GRID = 64
+
+
+def require_1d(name: str, array: np.ndarray) -> None:
+    """Validate that an array is one-dimensional."""
+    if array.ndim != 1:
+        raise KernelError(f"{name} must be 1-D, got shape {array.shape}")
+
+
+def require_same_length(a_name: str, a: np.ndarray, b_name: str, b: np.ndarray) -> None:
+    """Validate that two arrays have matching lengths."""
+    if len(a) != len(b):
+        raise KernelError(
+            f"{a_name} (len {len(a)}) and {b_name} (len {len(b)}) "
+            "must have the same length"
+        )
+
+
+def grid_stride_chunks(n: int) -> Tuple[range, int]:
+    """Chunk bounds for a simulated grid-stride loop over ``n`` items.
+
+    Returns the range of chunk starts and the stride, mimicking
+    ``for (i = idx; i < N; i += blockDim * gridDim)`` from the paper's
+    Fig. 3 CUDA listing.
+    """
+    stride = GPU_BLOCK * GPU_GRID
+    return range(0, max(n, 1), stride), stride
+
+
+def ceil_div(a: int, b: int) -> int:
+    """Integer ceiling division."""
+    if b <= 0:
+        raise KernelError("divisor must be positive")
+    return -(-a // b)
+
+
+def checked_log2(n: int) -> int:
+    """log2 for exact powers of two (used by scan passes)."""
+    if n <= 0 or n & (n - 1):
+        raise KernelError(f"{n} is not a positive power of two")
+    return n.bit_length() - 1
+
+
+def next_power_of_two(n: int) -> int:
+    """Smallest power of two >= n (>= 1)."""
+    if n <= 1:
+        return 1
+    return 1 << (n - 1).bit_length()
+
+
+def dtype_bytes(dtype: "np.dtype | type") -> int:
+    """Bytes per element of a numpy dtype."""
+    return np.dtype(dtype).itemsize
+
+
+def flops_nlogn(n: int, per_element: float = 1.0) -> float:
+    """Work estimate for comparison-style n log n algorithms."""
+    if n <= 1:
+        return float(n)
+    return per_element * n * math.log2(n)

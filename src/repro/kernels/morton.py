@@ -1,0 +1,92 @@
+"""Stage 1 of the Octree pipeline: Morton (Z-order) encoding.
+
+Converts 3-D points into 30-bit Morton codes by quantizing each axis to 10
+bits and interleaving them - the paper's Fig. 3 example kernel.  This is a
+perfectly regular DOALL map, the friendliest possible stage for every PU.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.kernels.base import grid_stride_chunks
+from repro.soc.workprofile import WorkProfile
+
+#: Bits per axis; 3 x 10 = 30-bit codes fit comfortably in uint32.
+AXIS_BITS = 10
+AXIS_RANGE = (1 << AXIS_BITS) - 1
+
+
+def _expand_bits(v: np.ndarray) -> np.ndarray:
+    """Spread the low 10 bits of each value 3 apart (the classic magic-
+    number bit dance from Karras' reference implementation)."""
+    v = v.astype(np.uint64)
+    v = (v * np.uint64(0x00010001)) & np.uint64(0xFF0000FF)
+    v = (v * np.uint64(0x00000101)) & np.uint64(0x0F00F00F)
+    v = (v * np.uint64(0x00000011)) & np.uint64(0xC30C30C3)
+    v = (v * np.uint64(0x00000005)) & np.uint64(0x49249249)
+    return v
+
+
+def _quantize(points: np.ndarray) -> np.ndarray:
+    if points.ndim != 2 or points.shape[1] != 3:
+        raise KernelError(f"points must be (n, 3), got {points.shape}")
+    clipped = np.clip(points, 0.0, 1.0)
+    return np.minimum(
+        (clipped * (AXIS_RANGE + 1)).astype(np.uint32), AXIS_RANGE
+    )
+
+
+def morton_encode(point: np.ndarray) -> int:
+    """Scalar reference encoder (used by tests as the oracle)."""
+    q = _quantize(point.reshape(1, 3))[0]
+    code = 0
+    for bit in range(AXIS_BITS):
+        for axis in range(3):
+            code |= ((int(q[axis]) >> bit) & 1) << (3 * bit + axis)
+    return code
+
+
+def morton_encode_cpu(points: np.ndarray, codes: np.ndarray) -> None:
+    """OpenMP-style variant: one vectorized pass over all points."""
+    q = _quantize(points)
+    x = _expand_bits(q[:, 0])
+    y = _expand_bits(q[:, 1])
+    z = _expand_bits(q[:, 2])
+    np.copyto(codes, (x | (y << np.uint64(1)) | (z << np.uint64(2))).astype(np.uint32))
+
+
+def morton_encode_gpu(points: np.ndarray, codes: np.ndarray) -> None:
+    """CUDA-style variant: grid-stride chunks (Fig. 3, Listing 2)."""
+    n = len(points)
+    starts, stride = grid_stride_chunks(n)
+    for start in starts:
+        stop = min(start + stride, n)
+        q = _quantize(points[start:stop])
+        x = _expand_bits(q[:, 0])
+        y = _expand_bits(q[:, 1])
+        z = _expand_bits(q[:, 2])
+        codes[start:stop] = (
+            x | (y << np.uint64(1)) | (z << np.uint64(2))
+        ).astype(np.uint32)
+
+
+def morton_work_profile(n_points: int) -> WorkProfile:
+    """Work characterization: ~30 bit-ops per point, streaming access.
+
+    Regular, embarrassingly parallel, zero divergence - every PU runs this
+    close to its roofline (the reason Fig. 1 shows little spread for the
+    regular stages).
+    """
+    return WorkProfile(
+        flops=30.0 * n_points,
+        bytes_moved=(12.0 + 4.0) * n_points,  # read xyz f32, write u32
+        parallelism=float(max(n_points, 1)),
+        parallel_fraction=1.0,
+        divergence=0.02,
+        irregularity=0.02,
+        cpu_efficiency=0.6,
+        gpu_efficiency=0.6,
+        gpu_launches=1,
+    )

@@ -1,0 +1,221 @@
+"""Dense neural-network kernels for the AlexNet workloads.
+
+Layers operate on float32 CHW tensors (optionally batched as BCHW).  The
+CPU variants are written the way the paper's OpenMP kernels are - an
+im2col lowering followed by a matrix multiply; the GPU variants compute
+the same lowering tile-by-tile over output channels, mirroring how a
+compute shader partitions the GEMM across workgroups.  Both produce
+identical results (float32 accumulation order is kept the same).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.soc.workprofile import WorkProfile
+
+
+@dataclass(frozen=True)
+class ConvSpec:
+    """Configuration of a convolution stage (stride 1, zero padding)."""
+
+    in_channels: int
+    out_channels: int
+    kernel_size: int
+    padding: int
+
+    def out_hw(self, h: int, w: int) -> Tuple[int, int]:
+        """Output spatial size for an (h, w) input."""
+        k, p = self.kernel_size, self.padding
+        return h + 2 * p - k + 1, w + 2 * p - k + 1
+
+    def flops(self, h: int, w: int) -> float:
+        """Multiply-accumulate flops for an (h, w) input."""
+        oh, ow = self.out_hw(h, w)
+        return (
+            2.0
+            * self.in_channels
+            * self.out_channels
+            * self.kernel_size**2
+            * oh
+            * ow
+        )
+
+
+def im2col(x: np.ndarray, kernel_size: int, padding: int) -> np.ndarray:
+    """Lower a (C, H, W) tensor to the (C*k*k, OH*OW) patch matrix."""
+    if x.ndim != 3:
+        raise KernelError(f"im2col expects (C, H, W), got {x.shape}")
+    c, h, w = x.shape
+    k, p = kernel_size, padding
+    oh, ow = h + 2 * p - k + 1, w + 2 * p - k + 1
+    if oh <= 0 or ow <= 0:
+        raise KernelError("kernel larger than padded input")
+    padded = np.pad(x, ((0, 0), (p, p), (p, p)))
+    columns = np.empty((c, k, k, oh, ow), dtype=x.dtype)
+    for dy in range(k):
+        for dx in range(k):
+            columns[:, dy, dx] = padded[:, dy : dy + oh, dx : dx + ow]
+    return columns.reshape(c * k * k, oh * ow)
+
+
+def _check_conv(x: np.ndarray, weights: np.ndarray, bias: np.ndarray,
+                out: np.ndarray, spec: ConvSpec) -> Tuple[int, int]:
+    if x.shape[0] != spec.in_channels:
+        raise KernelError(
+            f"input has {x.shape[0]} channels, spec wants {spec.in_channels}"
+        )
+    expected_w = (
+        spec.out_channels, spec.in_channels, spec.kernel_size, spec.kernel_size
+    )
+    if weights.shape != expected_w:
+        raise KernelError(f"weights {weights.shape} != {expected_w}")
+    if bias.shape != (spec.out_channels,):
+        raise KernelError(f"bias {bias.shape} != ({spec.out_channels},)")
+    oh, ow = spec.out_hw(x.shape[1], x.shape[2])
+    if out.shape != (spec.out_channels, oh, ow):
+        raise KernelError(
+            f"output {out.shape} != {(spec.out_channels, oh, ow)}"
+        )
+    return oh, ow
+
+
+def conv2d_relu_cpu(x: np.ndarray, weights: np.ndarray, bias: np.ndarray,
+                    out: np.ndarray, spec: ConvSpec) -> None:
+    """Host variant: full im2col + one GEMM + fused ReLU."""
+    oh, ow = _check_conv(x, weights, bias, out, spec)
+    patches = im2col(x, spec.kernel_size, spec.padding)
+    flat_w = weights.reshape(spec.out_channels, -1)
+    result = flat_w @ patches + bias[:, None]
+    np.maximum(result, 0.0, out=result)
+    np.copyto(out, result.reshape(spec.out_channels, oh, ow))
+
+
+#: Output channels computed per simulated workgroup in the gpu variant.
+GPU_CHANNEL_TILE = 16
+
+
+def conv2d_relu_gpu(x: np.ndarray, weights: np.ndarray, bias: np.ndarray,
+                    out: np.ndarray, spec: ConvSpec) -> None:
+    """Device variant: workgroup-tiled GEMM over output channels."""
+    oh, ow = _check_conv(x, weights, bias, out, spec)
+    patches = im2col(x, spec.kernel_size, spec.padding)
+    flat_w = weights.reshape(spec.out_channels, -1)
+    for k0 in range(0, spec.out_channels, GPU_CHANNEL_TILE):
+        k1 = min(k0 + GPU_CHANNEL_TILE, spec.out_channels)
+        tile = flat_w[k0:k1] @ patches + bias[k0:k1, None]
+        np.maximum(tile, 0.0, out=tile)
+        out[k0:k1] = tile.reshape(k1 - k0, oh, ow)
+
+
+def conv_work_profile(spec: ConvSpec, h: int, w: int,
+                      batch: int = 1) -> WorkProfile:
+    """Dense convolution: the GPU-dominant stage class.
+
+    Huge regular parallelism; the CPU variant is a plain OpenMP loop nest
+    (paper Fig. 3 style), far from a hand-tiled GEMM, hence the low CPU
+    efficiency that makes mobile CPUs ~2 orders of magnitude slower than
+    the GPU on dense CNNs (Table 3).
+    """
+    oh, ow = spec.out_hw(h, w)
+    weight_bytes = 4.0 * spec.out_channels * spec.in_channels * spec.kernel_size**2
+    io_bytes = 4.0 * (spec.in_channels * h * w + spec.out_channels * oh * ow)
+    return WorkProfile(
+        flops=spec.flops(h, w) * batch,
+        bytes_moved=(io_bytes * batch + weight_bytes),
+        parallelism=float(spec.out_channels * oh * ow * batch),
+        parallel_fraction=1.0,
+        divergence=0.03,
+        irregularity=0.05,
+        cpu_efficiency=0.06,
+        gpu_efficiency=0.5,
+        gpu_launches=1,
+    )
+
+
+def maxpool2x2_cpu(x: np.ndarray, out: np.ndarray) -> None:
+    """Host variant: strided-view reduction."""
+    c, h, w = x.shape
+    if h % 2 or w % 2:
+        raise KernelError(f"maxpool2x2 needs even H/W, got {x.shape}")
+    if out.shape != (c, h // 2, w // 2):
+        raise KernelError(f"output {out.shape} != {(c, h//2, w//2)}")
+    view = x.reshape(c, h // 2, 2, w // 2, 2)
+    np.copyto(out, view.max(axis=(2, 4)))
+
+
+def maxpool2x2_gpu(x: np.ndarray, out: np.ndarray) -> None:
+    """Device variant: explicit 4-way max per output texel."""
+    c, h, w = x.shape
+    if h % 2 or w % 2:
+        raise KernelError(f"maxpool2x2 needs even H/W, got {x.shape}")
+    if out.shape != (c, h // 2, w // 2):
+        raise KernelError(f"output {out.shape} != {(c, h//2, w//2)}")
+    a = np.maximum(x[:, 0::2, 0::2], x[:, 0::2, 1::2])
+    b = np.maximum(x[:, 1::2, 0::2], x[:, 1::2, 1::2])
+    np.copyto(out, np.maximum(a, b))
+
+
+def maxpool_work_profile(channels: int, h: int, w: int,
+                         batch: int = 1) -> WorkProfile:
+    """Max pooling: the lightweight stage class.
+
+    Three compares per output texel, streaming access - the paper's
+    example of work suited to little cores (section 2.1).
+    """
+    elems = channels * h * w * batch
+    return WorkProfile(
+        flops=0.75 * elems,
+        bytes_moved=4.0 * elems * 1.25,
+        parallelism=float(max(elems // 4, 1)),
+        parallel_fraction=1.0,
+        divergence=0.02,
+        irregularity=0.05,
+        cpu_efficiency=0.4,
+        gpu_efficiency=0.35,
+        gpu_launches=1,
+    )
+
+
+def linear_cpu(x: np.ndarray, weights: np.ndarray, bias: np.ndarray,
+               out: np.ndarray) -> None:
+    """Host variant: flatten + GEMV."""
+    flat = x.reshape(-1)
+    if weights.shape != (len(out), len(flat)):
+        raise KernelError(
+            f"weights {weights.shape} != {(len(out), len(flat))}"
+        )
+    np.copyto(out, weights @ flat + bias)
+
+
+def linear_gpu(x: np.ndarray, weights: np.ndarray, bias: np.ndarray,
+               out: np.ndarray) -> None:
+    """Device variant: one workgroup per output neuron (row-parallel)."""
+    flat = x.reshape(-1)
+    if weights.shape != (len(out), len(flat)):
+        raise KernelError(
+            f"weights {weights.shape} != {(len(out), len(flat))}"
+        )
+    for row in range(len(out)):
+        out[row] = np.dot(weights[row], flat) + bias[row]
+
+
+def linear_work_profile(in_features: int, out_features: int,
+                        batch: int = 1) -> WorkProfile:
+    """Fully-connected layer: small GEMV, weight-bandwidth bound."""
+    return WorkProfile(
+        flops=2.0 * in_features * out_features * batch,
+        bytes_moved=4.0 * (in_features * out_features
+                           + batch * (in_features + out_features)),
+        parallelism=float(out_features * batch),
+        parallel_fraction=1.0,
+        divergence=0.02,
+        irregularity=0.05,
+        cpu_efficiency=0.35,
+        gpu_efficiency=0.3,
+        gpu_launches=1,
+    )

@@ -1,0 +1,81 @@
+"""Prefix sum (stage 6 of the Octree pipeline, also used inside the sort).
+
+The CPU variant is a sequential-in-spirit running sum (``np.cumsum``); the
+GPU variant is the classic Blelloch work-efficient scan - an up-sweep
+(reduce) phase followed by a down-sweep, each ``log2(n)`` passes, exactly
+how a compute-shader scan is structured.  Both produce an *exclusive*
+prefix sum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import KernelError
+from repro.kernels.base import next_power_of_two
+from repro.soc.workprofile import WorkProfile
+
+
+def exclusive_scan_cpu(values: np.ndarray, out: np.ndarray) -> None:
+    """Host variant: one pass, carried dependence (limited parallelism)."""
+    if len(values) != len(out):
+        raise KernelError("scan output length mismatch")
+    if len(values) == 0:
+        return
+    np.copyto(out[1:], np.cumsum(values[:-1], dtype=out.dtype))
+    out[0] = 0
+
+
+def exclusive_scan_gpu(values: np.ndarray, out: np.ndarray) -> None:
+    """Device variant: Blelloch up-sweep / down-sweep over a padded tree."""
+    if len(values) != len(out):
+        raise KernelError("scan output length mismatch")
+    n = len(values)
+    if n == 0:
+        return
+    size = next_power_of_two(n)
+    tree = np.zeros(size, dtype=np.int64)
+    tree[:n] = values
+    # Up-sweep (reduce): tree[k + 2^(d+1) - 1] += tree[k + 2^d - 1]
+    depth = size.bit_length() - 1
+    for d in range(depth):
+        step = 1 << (d + 1)
+        half = 1 << d
+        idx = np.arange(step - 1, size, step)
+        tree[idx] += tree[idx - half]
+    # Down-sweep.
+    tree[size - 1] = 0
+    for d in range(depth - 1, -1, -1):
+        step = 1 << (d + 1)
+        half = 1 << d
+        idx = np.arange(step - 1, size, step)
+        left = tree[idx - half].copy()
+        tree[idx - half] = tree[idx]
+        tree[idx] += left
+    np.copyto(out, tree[:n].astype(out.dtype))
+
+
+def scan_work_profile(n: int) -> WorkProfile:
+    """Work characterization for prefix sum.
+
+    Cheap (one add per element) and memory-streaming, but the GPU pays
+    several kernel launches for the hierarchical sweep while the CPU's
+    single accumulating pass has a carried dependence that caps its
+    parallelism - on small inputs the CPU usually wins on the mobile
+    parts, where per-launch overhead is high.
+    """
+    # A production device scan is hierarchical (scan tiles, scan the
+    # tile sums, add back): ~5 launches, not 2*log2(n) global sweeps.
+    launches = 5
+    return WorkProfile(
+        flops=2.0 * max(n, 1),
+        bytes_moved=12.0 * max(n, 1),
+        parallelism=float(max(n // 2, 1)),
+        parallel_fraction=0.85,
+        divergence=0.05,
+        irregularity=0.05,
+        cpu_efficiency=0.5,
+        gpu_efficiency=0.4,
+        gpu_cuda_efficiency=0.6,
+        gpu_launches=launches,
+    )

@@ -1,0 +1,48 @@
+"""BT-Implementer runtime (paper section 3.4).
+
+Two interchangeable back-ends execute pipeline schedules:
+
+* :class:`ThreadedPipelineExecutor` - real dispatcher threads, SPSC
+  queues, and compute kernels; validates functional correctness.
+* :class:`SimulatedPipelineExecutor` - rate-based discrete-event
+  simulation on the virtual SoC; produces all performance measurements,
+  with interference emerging from the instantaneous co-run state.
+
+Shared infrastructure: unified-memory buffers (:class:`UsmBuffer`),
+recyclable :class:`TaskObject` containers, and the :class:`SpscQueue`
+dispatchers communicate through.
+"""
+
+from repro.runtime.adaptive import AdaptivePipeline, WindowRecord
+from repro.runtime.memory import (
+    MemoryReport,
+    estimate_pipeline_memory,
+    max_depth_within,
+)
+from repro.runtime.pipeline import ThreadedPipelineExecutor, ThreadedRunResult
+from repro.runtime.simulator import (
+    SimulatedPipelineExecutor,
+    SimulatedRunResult,
+)
+from repro.runtime.spsc import SpscQueue
+from repro.runtime.trace import Span, format_gantt, pipeline_bubbles
+from repro.runtime.task_object import TaskObject
+from repro.runtime.usm import UsmBuffer
+
+__all__ = [
+    "AdaptivePipeline",
+    "MemoryReport",
+    "SimulatedPipelineExecutor",
+    "SimulatedRunResult",
+    "Span",
+    "SpscQueue",
+    "TaskObject",
+    "ThreadedPipelineExecutor",
+    "ThreadedRunResult",
+    "UsmBuffer",
+    "WindowRecord",
+    "estimate_pipeline_memory",
+    "format_gantt",
+    "max_depth_within",
+    "pipeline_bubbles",
+]

@@ -1,0 +1,159 @@
+"""Adaptive deployment: react to run-time condition changes (extension).
+
+The paper generates *static* schedules and notes that prior static cost
+models have limited applicability "in dynamic, resource-constrained
+environments like mobile SoCs" (section 6).  This module closes the loop
+at deployment time without abandoning the static machinery:
+
+* an :class:`AdaptivePipeline` executes the deployed schedule in windows
+  and watches measured steady latency;
+* when the measurement drifts beyond a threshold from the window
+  baseline (a power-mode flip, thermal throttling, a co-located app),
+  it re-runs *level 3 only* - re-measuring the cached candidate set on
+  the current conditions and switching to the measured best - exactly
+  the cheap step the paper's architecture makes possible (the profiling
+  table and solver candidates remain valid artifacts; only the final
+  ranking is refreshed).
+
+Condition changes are modelled as platform swaps (e.g. Jetson normal ->
+7 W), which is both how the virtual SoC expresses "the world changed"
+and a real event on Jetson-class deployments.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.core.optimizer import ScheduleCandidate
+from repro.core.schedule import Schedule
+from repro.core.stage import Application
+from repro.errors import PipelineError, SchedulingError
+from repro.runtime.simulator import SimulatedPipelineExecutor
+from repro.soc.platform import Platform
+
+
+@dataclass
+class WindowRecord:
+    """One execution window's outcome."""
+
+    window_index: int
+    schedule: Schedule
+    platform: str
+    measured_latency_s: float
+    retuned: bool
+
+
+@dataclass
+class AdaptivePipeline:
+    """Windowed execution with drift-triggered re-autotuning.
+
+    Args:
+        application: The deployed pipeline.
+        platform: Current execution conditions (swap via
+            :meth:`set_platform` to model a mode change).
+        candidates: The optimizer's cached candidate set (level-2
+            output); re-tuning re-ranks these, never re-profiles.
+        drift_threshold: Relative latency change that triggers
+            re-tuning (0.25 = 25% away from the reference).
+        window_tasks: Tasks per execution window.
+    """
+
+    application: Application
+    platform: Platform
+    candidates: Sequence[ScheduleCandidate]
+    drift_threshold: float = 0.25
+    window_tasks: int = 20
+    eval_tasks: int = 15
+
+    _schedule: Optional[Schedule] = field(default=None, init=False)
+    _reference_latency_s: Optional[float] = field(default=None, init=False)
+    history: List[WindowRecord] = field(default_factory=list, init=False)
+
+    def __post_init__(self) -> None:
+        if not self.candidates:
+            raise SchedulingError("adaptive pipeline needs candidates")
+        if not 0.0 < self.drift_threshold:
+            raise SchedulingError("drift_threshold must be positive")
+        if self.window_tasks < 2:
+            raise PipelineError("window_tasks must be >= 2")
+        self._retune(initial=True)
+
+    # ------------------------------------------------------------------
+    @property
+    def schedule(self) -> Schedule:
+        """The currently deployed schedule."""
+        return self._schedule
+
+    def set_platform(self, platform: Platform) -> None:
+        """Conditions changed (power mode flip, thermal state...).
+
+        The controller does not react immediately - the next window's
+        drift check does, keeping the reaction measurement-driven (a
+        real deployment has no oracle for 'the platform object
+        changed')."""
+        usable = [
+            c for c in self.candidates
+            if set(c.schedule.pu_classes_used)
+            <= set(platform.schedulable_classes())
+        ]
+        if not usable:
+            raise SchedulingError(
+                "no cached candidate is schedulable on the new platform; "
+                "a full re-run (profiling included) is required"
+            )
+        self.platform = platform
+
+    # ------------------------------------------------------------------
+    def _usable_candidates(self) -> List[ScheduleCandidate]:
+        schedulable = set(self.platform.schedulable_classes())
+        return [
+            c for c in self.candidates
+            if set(c.schedule.pu_classes_used) <= schedulable
+        ]
+
+    def _retune(self, initial: bool = False) -> None:
+        # Imported lazily: repro.core.autotuner itself imports the
+        # runtime package, so a module-level import would be circular.
+        from repro.core.autotuner import Autotuner
+
+        tuner = Autotuner(
+            self.application, self.platform, eval_tasks=self.eval_tasks
+        )
+        result = tuner.tune(self._usable_candidates())
+        self._schedule = result.measured_best.candidate.schedule
+        self._reference_latency_s = result.measured_best.measured_latency_s
+        del initial
+
+    # ------------------------------------------------------------------
+    def run_window(self) -> WindowRecord:
+        """Execute one window; re-tune first if the last window drifted.
+
+        Returns the window's record (also appended to :attr:`history`).
+        """
+        retuned = False
+        if self.history:
+            last = self.history[-1]
+            drift = abs(
+                last.measured_latency_s - self._reference_latency_s
+            ) / self._reference_latency_s
+            if drift > self.drift_threshold:
+                self._retune()
+                retuned = True
+        executor = SimulatedPipelineExecutor(
+            self.application, self._schedule.chunks(), self.platform
+        )
+        measured = executor.measure_per_task_latency(self.window_tasks)
+        record = WindowRecord(
+            window_index=len(self.history),
+            schedule=self._schedule,
+            platform=self.platform.name,
+            measured_latency_s=measured,
+            retuned=retuned,
+        )
+        self.history.append(record)
+        return record
+
+    def run_windows(self, count: int) -> List[WindowRecord]:
+        """Execute several windows back to back."""
+        return [self.run_window() for _ in range(count)]

@@ -1,0 +1,267 @@
+"""BT-Implementer, functional back-end: real dispatcher threads.
+
+Executes a pipeline schedule with actual Python threads and actual compute
+kernels, following the dispatcher protocol of paper section 3.4:
+
+1. pop a TaskObject pointer from the previous queue,
+2. synchronize the chunk's buffers for the target PU (coherence hints),
+3. dispatch each stage's compute kernel in sequence,
+4. yield until the kernels complete (implicit - kernels are synchronous
+   here, like OpenMP's implicit barrier),
+5. push the pointer to the next queue.
+
+TaskObjects are multi-buffered and recycled through the first queue once
+the last chunk finishes with them.  This back-end validates *functional*
+correctness of arbitrary schedules (any stage-to-PU mapping must produce
+identical outputs); performance numbers come from the discrete-event
+back-end in :mod:`repro.runtime.simulator`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.stage import Application, Chunk
+from repro.errors import PipelineError, QueueClosedError
+from repro.runtime.spsc import SpscQueue
+from repro.runtime.task_object import TaskObject
+
+#: Sentinel flowing through the queues to shut dispatchers down.
+_POISON = object()
+
+#: Safety timeout so a wedged pipeline fails tests instead of hanging.
+_QUEUE_TIMEOUT_S = 30.0
+
+
+@dataclass
+class ThreadedRunResult:
+    """Outcome of a threaded pipeline run."""
+
+    n_tasks: int
+    wall_seconds: float
+    chunk_stage_counts: Dict[int, int] = field(default_factory=dict)
+    validated: bool = False
+
+
+class _Dispatcher(threading.Thread):
+    """One long-lived dispatcher thread per pipeline chunk."""
+
+    def __init__(self, chunk_index: int, chunk: Chunk,
+                 application: Application, in_queue: SpscQueue,
+                 out_queue: SpscQueue, affinity_cores: Sequence[int]):
+        super().__init__(name=f"dispatch-{chunk_index}-{chunk.pu_class}",
+                         daemon=True)
+        self.chunk_index = chunk_index
+        self.chunk = chunk
+        self.application = application
+        self.in_queue = in_queue
+        self.out_queue = out_queue
+        self.affinity_cores = tuple(affinity_cores)
+        self.stages_executed = 0
+        self.error: Optional[BaseException] = None
+
+    def run(self) -> None:
+        # The real implementation calls sched_setaffinity() here; the
+        # virtual SoC has no OS scheduler, so the pinning is recorded on
+        # the thread for tests to inspect.
+        try:
+            while True:
+                task = self.in_queue.pop(timeout=_QUEUE_TIMEOUT_S)
+                if task is _POISON:
+                    self.out_queue.push(_POISON, timeout=_QUEUE_TIMEOUT_S)
+                    return
+                self._process(task)
+                self.out_queue.push(task, timeout=_QUEUE_TIMEOUT_S)
+        except QueueClosedError:
+            # A neighbour unwound; propagate the closure along the chain
+            # so every dispatcher (and the driver) wakes up.
+            self.in_queue.close()
+            self.out_queue.close()
+        except BaseException as exc:  # surfaced by the executor
+            self.error = exc
+            # Unwind the pipeline so neighbours don't block on us.
+            self.in_queue.close()
+            self.out_queue.close()
+
+    def _process(self, task: TaskObject) -> None:
+        task.synchronize_for(self.chunk.pu_class)
+        for index in self.chunk.stage_indices:
+            stage = self.application.stages[index]
+            stage.kernel_for_pu(self.chunk.pu_class)(task)
+            self.stages_executed += 1
+
+
+class ThreadedPipelineExecutor:
+    """Run an application's schedule with real threads and kernels.
+
+    Args:
+        application: Must provide ``make_task`` (functional inputs).
+        chunks: The schedule's chunk decomposition (contiguous cover of
+            all stages, in order).
+        num_task_objects: Multi-buffering depth; defaults to
+            ``len(chunks) + 1`` so every chunk can be busy while one task
+            is in flight between the ends.
+        affinity: Optional mapping pu_class -> core ids, recorded on the
+            dispatcher threads.
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        chunks: Sequence[Chunk],
+        num_task_objects: Optional[int] = None,
+        affinity: Optional[Dict[str, Sequence[int]]] = None,
+    ):
+        _check_chunk_cover(application, chunks)
+        if application.make_task is None:
+            raise PipelineError(
+                f"{application.name!r} has no task factory; the threaded "
+                "back-end needs real inputs"
+            )
+        self.application = application
+        self.chunks = list(chunks)
+        self.depth = (
+            num_task_objects if num_task_objects is not None
+            else len(self.chunks) + 1
+        )
+        if self.depth < 1:
+            raise PipelineError("need at least one TaskObject")
+        self.affinity = affinity or {}
+
+    def run(
+        self,
+        n_tasks: int,
+        on_complete: Optional[Callable[[TaskObject, int], None]] = None,
+        validate: bool = False,
+    ) -> ThreadedRunResult:
+        """Stream ``n_tasks`` inputs through the pipeline.
+
+        Args:
+            n_tasks: Number of tasks to process.
+            on_complete: Called with (task_object, task_index) after the
+                final chunk finishes each task, before recycling.
+            validate: Run the application's ``validate_task`` on every
+                completed task.
+        """
+        if n_tasks < 1:
+            raise PipelineError("n_tasks must be >= 1")
+        queues = [
+            SpscQueue(capacity=self.depth + 1)
+            for _ in range(len(self.chunks) + 1)
+        ]
+        dispatchers = [
+            _Dispatcher(
+                chunk_index=i,
+                chunk=chunk,
+                application=self.application,
+                in_queue=queues[i],
+                out_queue=queues[i + 1],
+                affinity_cores=self.affinity.get(chunk.pu_class, ()),
+            )
+            for i, chunk in enumerate(self.chunks)
+        ]
+        start = time.perf_counter()
+        for dispatcher in dispatchers:
+            dispatcher.start()
+
+        issued = 0
+        completed = 0
+        try:
+            # Prime the pipeline with the multi-buffered TaskObjects.
+            for slot in range(min(self.depth, n_tasks)):
+                queues[0].push(self._load_task(TaskObject(slot), issued),
+                               timeout=_QUEUE_TIMEOUT_S)
+                issued += 1
+            # Drain + recycle until all tasks complete.
+            while completed < n_tasks:
+                try:
+                    task = queues[-1].pop(timeout=_QUEUE_TIMEOUT_S)
+                except QueueClosedError:
+                    break  # a dispatcher crashed and unwound the queues
+                if task is _POISON:  # pragma: no cover - defensive
+                    raise PipelineError("pipeline shut down early")
+                self._finish_task(task, completed, on_complete, validate)
+                completed += 1
+                if issued < n_tasks:
+                    task.recycle(issued)
+                    try:
+                        queues[0].push(self._load_task(task, issued),
+                                       timeout=_QUEUE_TIMEOUT_S)
+                    except QueueClosedError:
+                        break  # pipeline unwound mid-recycle
+                    issued += 1
+            if completed == n_tasks:
+                try:
+                    queues[0].push(_POISON, timeout=_QUEUE_TIMEOUT_S)
+                except QueueClosedError:  # pragma: no cover - late crash
+                    pass
+        finally:
+            # Close every queue *before* joining: a dispatcher blocked on
+            # an upstream pop must wake even when the failure happened
+            # downstream of it.  Closed queues still drain queued items
+            # (including the poison pill), so the clean-shutdown path is
+            # unaffected.
+            for queue in queues:
+                queue.close()
+        for dispatcher in dispatchers:
+            dispatcher.join(timeout=_QUEUE_TIMEOUT_S)
+        for dispatcher in dispatchers:
+            if dispatcher.error is not None:
+                raise PipelineError(
+                    f"dispatcher {dispatcher.name} failed"
+                ) from dispatcher.error
+        wall = time.perf_counter() - start
+        return ThreadedRunResult(
+            n_tasks=n_tasks,
+            wall_seconds=wall,
+            chunk_stage_counts={
+                d.chunk_index: d.stages_executed for d in dispatchers
+            },
+            validated=validate,
+        )
+
+    # ------------------------------------------------------------------
+    def _load_task(self, task: TaskObject, index: int) -> TaskObject:
+        payload = self.application.make_task(index)
+        for name, array in payload.items():
+            task[name] = array
+        task.set_constant("task_index", index)
+        return task
+
+    def _finish_task(self, task: TaskObject, index: int,
+                     on_complete: Optional[Callable[[TaskObject, int], None]],
+                     validate: bool) -> None:
+        if validate and self.application.validate_task is not None:
+            self.application.validate_task(task)
+        if on_complete is not None:
+            on_complete(task, index)
+
+
+def _check_chunk_cover(application: Application,
+                       chunks: Sequence[Chunk]) -> None:
+    """Chunks must tile [0, num_stages) in order with distinct PUs."""
+    if not chunks:
+        raise PipelineError("a pipeline needs at least one chunk")
+    expected = 0
+    seen_pus: List[str] = []
+    for chunk in chunks:
+        if chunk.start != expected:
+            raise PipelineError(
+                f"chunk gap/overlap at stage {expected} (chunk starts at "
+                f"{chunk.start})"
+            )
+        expected = chunk.stop
+        if chunk.pu_class in seen_pus:
+            raise PipelineError(
+                f"PU class {chunk.pu_class!r} used by two chunks - stages "
+                "on one PU must form a single chunk (constraint C2)"
+            )
+        seen_pus.append(chunk.pu_class)
+    if expected != application.num_stages:
+        raise PipelineError(
+            f"chunks cover {expected} stages, application has "
+            f"{application.num_stages}"
+        )

@@ -1,0 +1,406 @@
+"""BT-Implementer, performance back-end: rate-based discrete-event sim.
+
+Produces every "measured on the device" number in the experiments.  The
+pipeline is simulated on the virtual SoC with interference as an
+*emergent* quantity: each executing stage progresses at an instantaneous
+rate that depends on which other PUs are busy at that moment and how much
+DRAM bandwidth they are collectively drawing.  Because co-run conditions
+during a real pipeline differ from both profiling modes (isolated: nobody
+else runs; interference-heavy: everybody runs flat out), predictions made
+from either profiling table can deviate from these measurements - exactly
+the gap the paper's Figs. 5-6 quantify and its autotuning level 3 mops up.
+
+Mechanics: each chunk is a server processing tasks in order.  A stage
+execution has a fixed overhead phase (dispatch/launch - unaffected by
+interference) followed by a work phase whose remaining work drains at
+``rate = interference.speed_multiplier(...)``.  Whenever any stage starts
+or finishes, the active set changes and all rates are recomputed - a
+standard piecewise-constant-rate DES.
+
+Multi-buffering: ``depth`` TaskObjects circulate; the first chunk may only
+admit task ``t`` once fewer than ``depth`` tasks are in flight, mirroring
+the recycling queue of section 3.4.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.stage import Application, Chunk
+from repro.errors import PipelineError
+from repro.runtime.trace import Span
+from repro.soc.interference import co_load_fraction
+from repro.soc.platform import Platform
+
+#: Relative run-to-run jitter of a single stage execution (smaller than
+#: the timer's measurement noise; real kernels are quite repeatable).
+_EXEC_NOISE_SIGMA = 0.01
+
+_IDLE = -1
+
+
+@dataclass
+class SimulatedRunResult:
+    """Outcome of a simulated pipeline run.
+
+    Attributes:
+        n_tasks: Tasks streamed through.
+        total_s: Virtual time from start to last completion.
+        completion_times_s: Per-task completion timestamps.
+        steady_interval_s: Steady-state per-task interval (the pipeline's
+            effective latency; the quantity Table 3/4 report per task).
+        chunk_busy_s: Busy virtual seconds per chunk index.
+        chunk_pu: PU class per chunk index.
+        spans: Per-(chunk, task) execution spans when tracing was
+            requested (``run(..., record_trace=True)``); empty otherwise.
+        arrival_times_s: When each task became available.  All zero for
+            the default backlogged run; set by ``arrival_period_s``.
+    """
+
+    n_tasks: int
+    total_s: float
+    completion_times_s: List[float]
+    steady_interval_s: float
+    chunk_busy_s: Dict[int, float] = field(default_factory=dict)
+    chunk_pu: Dict[int, str] = field(default_factory=dict)
+    spans: List[Span] = field(default_factory=list)
+    arrival_times_s: List[float] = field(default_factory=list)
+
+    def end_to_end_latencies_s(self) -> List[float]:
+        """Per-task arrival-to-completion latency.
+
+        For a backlogged run (all arrivals at 0) this is dominated by
+        queueing behind earlier tasks; with a real arrival period it is
+        the sensor-to-result latency a deployment cares about.
+        """
+        arrivals = self.arrival_times_s or [0.0] * self.n_tasks
+        return [
+            completion - arrival
+            for completion, arrival in zip(self.completion_times_s,
+                                           arrivals)
+        ]
+
+    def keeps_up_with_arrivals(self, slack: float = 1.5) -> bool:
+        """Whether end-to-end latency stays bounded (no divergent queue):
+        the last task's latency must not exceed ``slack`` times the
+        median - a growing backlog shows up as a rising tail."""
+        latencies = self.end_to_end_latencies_s()
+        if len(latencies) < 4:
+            return True
+        median = sorted(latencies)[len(latencies) // 2]
+        return latencies[-1] <= slack * max(median, 1e-12)
+
+    @property
+    def throughput_tasks_per_s(self) -> float:
+        if self.steady_interval_s <= 0:
+            return float("inf")
+        return 1.0 / self.steady_interval_s
+
+    def utilization(self, chunk_index: int) -> float:
+        """Busy fraction of the run for one chunk."""
+        if self.total_s <= 0:
+            return 0.0
+        return self.chunk_busy_s.get(chunk_index, 0.0) / self.total_s
+
+
+@dataclass
+class _StageCost:
+    overhead_s: float
+    work_s: float
+    memory_boundedness: float
+    demand_gbps: float
+
+
+class _ChunkServer:
+    """Execution state of one chunk's dispatcher."""
+
+    def __init__(self, index: int, chunk: Chunk,
+                 stage_costs: List[_StageCost]):
+        self.index = index
+        self.chunk = chunk
+        self.stage_costs = stage_costs
+        self.task = _IDLE
+        self.stage = 0
+        self.in_overhead = True
+        self.remaining = 0.0
+        self.noise_scale = 1.0
+        self.ready: List[int] = []  # upstream-completed task ids, FIFO
+        self.busy_s = 0.0
+
+    @property
+    def idle(self) -> bool:
+        return self.task == _IDLE
+
+    def begin_task(self, task_id: int, noise_scale_fn) -> None:
+        self.task = task_id
+        self.stage = 0
+        self._enter_stage(noise_scale_fn)
+
+    def _enter_stage(self, noise_scale_fn) -> None:
+        cost = self.stage_costs[self.stage]
+        self.in_overhead = cost.overhead_s > 0.0
+        self.noise_scale = noise_scale_fn(self.task, self.stage)
+        if self.in_overhead:
+            self.remaining = cost.overhead_s
+        else:
+            self.remaining = cost.work_s * self.noise_scale
+
+    def advance(self, dt: float, rate: float) -> None:
+        self.remaining -= dt * rate
+        self.busy_s += dt
+
+    def finished_phase(self) -> bool:
+        return self.remaining <= 1e-15
+
+    def next_phase(self, noise_scale_fn) -> Optional[int]:
+        """Move to the next phase/stage.  Returns the completed task id
+        when the whole chunk is done with it, else None."""
+        if self.in_overhead:
+            self.in_overhead = False
+            cost = self.stage_costs[self.stage]
+            self.remaining = cost.work_s * self.noise_scale
+            if self.remaining > 1e-15:
+                return None
+        self.stage += 1
+        if self.stage < len(self.stage_costs):
+            self._enter_stage(noise_scale_fn)
+            return None
+        done = self.task
+        self.task = _IDLE
+        return done
+
+
+class SimulatedPipelineExecutor:
+    """Simulate a schedule's pipeline execution on a virtual platform.
+
+    Args:
+        application: Provides the per-stage work profiles.
+        chunks: Contiguous chunk decomposition of the schedule.
+        platform: The virtual SoC (ground-truth oracle).
+        depth: Multi-buffering depth (TaskObjects in flight); defaults to
+            ``len(chunks) + 1``.
+    """
+
+    def __init__(
+        self,
+        application: Application,
+        chunks: Sequence[Chunk],
+        platform: Platform,
+        depth: Optional[int] = None,
+    ):
+        from repro.runtime.pipeline import _check_chunk_cover
+
+        _check_chunk_cover(application, chunks)
+        for chunk in chunks:
+            if chunk.pu_class not in platform.pu_classes():
+                raise PipelineError(
+                    f"{platform.name} has no PU class {chunk.pu_class!r}"
+                )
+        self.application = application
+        self.chunks = list(chunks)
+        self.platform = platform
+        self.depth = depth if depth is not None else len(self.chunks) + 1
+        if self.depth < 1:
+            raise PipelineError("multi-buffering depth must be >= 1")
+        self._servers = [
+            _ChunkServer(i, chunk, self._costs_for(chunk))
+            for i, chunk in enumerate(self.chunks)
+        ]
+        self._schedule_key = "|".join(
+            f"{c.pu_class}:{c.start}-{c.stop}" for c in self.chunks
+        )
+
+    def _costs_for(self, chunk: Chunk) -> List[_StageCost]:
+        costs = []
+        for index in chunk.stage_indices:
+            stage = self.application.stages[index]
+            breakdown = self.platform.isolated_breakdown(
+                stage.work, chunk.pu_class
+            )
+            costs.append(
+                _StageCost(
+                    overhead_s=breakdown.overhead_s,
+                    work_s=max(breakdown.compute_s, breakdown.memory_s),
+                    memory_boundedness=breakdown.memory_boundedness,
+                    demand_gbps=breakdown.demand_bw_gbps(
+                        stage.work.bytes_moved
+                    ),
+                )
+            )
+        return costs
+
+    # ------------------------------------------------------------------
+    def _noise_scale(self, task_id: int, stage: int) -> float:
+        digest = hashlib.blake2b(
+            f"{self.platform.name}|{self._schedule_key}|{task_id}|{stage}"
+            .encode(),
+            digest_size=8,
+        ).digest()
+        rng = __import__("numpy").random.default_rng(
+            int.from_bytes(digest, "little")
+        )
+        sigma = _EXEC_NOISE_SIGMA
+        return float(
+            rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma)
+        )
+
+    def run(self, n_tasks: int,
+            record_trace: bool = False,
+            arrival_period_s: Optional[float] = None) -> SimulatedRunResult:
+        """Stream ``n_tasks`` through the pipeline in virtual time.
+
+        Args:
+            n_tasks: Tasks to stream.
+            record_trace: Also record per-(chunk, task) execution spans
+                for Gantt rendering (:mod:`repro.runtime.trace`).
+            arrival_period_s: When given, task ``t`` only becomes
+                available at ``t * arrival_period_s`` (a fixed-rate
+                sensor); the default ``None`` models a pre-filled
+                backlog, the paper's measurement condition.
+        """
+        if n_tasks < 1:
+            raise PipelineError("n_tasks must be >= 1")
+        if arrival_period_s is not None and arrival_period_s < 0:
+            raise PipelineError("arrival_period_s must be >= 0")
+        arrivals = [
+            (arrival_period_s or 0.0) * t for t in range(n_tasks)
+        ]
+        for server in self._servers:
+            server.task = _IDLE
+            server.ready.clear()
+            server.busy_s = 0.0
+
+        now = 0.0
+        issued = 0
+        completed: List[float] = []
+        spans: List[Span] = []
+        span_starts: Dict[int, float] = {}
+        total_other = max(len(self.platform.pu_classes()) - 1, 0)
+
+        while len(completed) < n_tasks:
+            # Admit work.
+            first = self._servers[0]
+            if (
+                first.idle
+                and issued < n_tasks
+                and issued - len(completed) < self.depth
+                and arrivals[issued] <= now + 1e-15
+            ):
+                first.begin_task(issued, self._noise_scale)
+                if record_trace:
+                    span_starts[first.index] = now
+                issued += 1
+            for server in self._servers[1:]:
+                if server.idle and server.ready:
+                    server.begin_task(server.ready.pop(0), self._noise_scale)
+                    if record_trace:
+                        span_starts[server.index] = now
+
+            active = [s for s in self._servers if not s.idle]
+            if not active:
+                if (
+                    issued < n_tasks
+                    and arrivals[issued] > now
+                    and issued - len(completed) < self.depth
+                ):
+                    now = arrivals[issued]  # idle until the next arrival
+                    continue
+                raise PipelineError(
+                    "pipeline deadlock: nothing active, tasks pending"
+                )
+
+            # Instantaneous rates under the current co-run condition.
+            busy_classes = {s.chunk.pu_class for s in active}
+            total_demand = sum(
+                s.stage_costs[s.stage].demand_gbps
+                for s in active
+                if not s.in_overhead
+            )
+            rates: Dict[int, float] = {}
+            for server in active:
+                if server.in_overhead:
+                    rates[server.index] = 1.0
+                    continue
+                cost = server.stage_costs[server.stage]
+                others_busy = len(
+                    busy_classes - {server.chunk.pu_class}
+                )
+                co_load = co_load_fraction(others_busy, total_other)
+                rates[server.index] = self.platform.instantaneous_rate(
+                    memory_boundedness=cost.memory_boundedness,
+                    pu_class=server.chunk.pu_class,
+                    demand_gbps=cost.demand_gbps,
+                    total_demand_gbps=total_demand,
+                    co_load=co_load,
+                )
+
+            # Advance to the next phase completion (or next arrival,
+            # whichever lets the first chunk admit sooner).
+            dt = min(
+                server.remaining / rates[server.index] for server in active
+            )
+            dt = max(dt, 0.0)
+            if (
+                first.idle
+                and issued < n_tasks
+                and issued - len(completed) < self.depth
+                and arrivals[issued] > now
+            ):
+                dt = min(dt, arrivals[issued] - now)
+            now += dt
+            for server in active:
+                server.advance(dt, rates[server.index])
+
+            # Process completions (any server whose phase drained).
+            for position, server in enumerate(self._servers):
+                if server.idle or not server.finished_phase():
+                    continue
+                previous_task = server.task
+                done_task = server.next_phase(self._noise_scale)
+                if done_task is None:
+                    continue
+                if record_trace:
+                    spans.append(Span(
+                        chunk_index=server.index,
+                        pu_class=server.chunk.pu_class,
+                        task_id=previous_task,
+                        start_s=span_starts.pop(server.index, now),
+                        end_s=now,
+                    ))
+                if position + 1 < len(self._servers):
+                    self._servers[position + 1].ready.append(done_task)
+                else:
+                    completed.append(now)
+
+        steady = self._steady_interval(completed)
+        return SimulatedRunResult(
+            n_tasks=n_tasks,
+            total_s=now,
+            completion_times_s=completed,
+            steady_interval_s=steady,
+            chunk_busy_s={s.index: s.busy_s for s in self._servers},
+            chunk_pu={s.index: s.chunk.pu_class for s in self._servers},
+            spans=spans,
+            arrival_times_s=arrivals,
+        )
+
+    def _steady_interval(self, completions: Sequence[float]) -> float:
+        """Per-task interval after pipeline fill (warmup excluded, like
+        the paper's measurements excluding GPU initialization)."""
+        n = len(completions)
+        if n == 1:
+            return completions[0]
+        warm = min(self.depth, n - 1)
+        span = completions[-1] - completions[warm - 1]
+        return span / (n - warm)
+
+    def measure_per_task_latency(self, n_tasks: int = 30) -> float:
+        """One noisy timer observation of the steady per-task latency
+        (the number the paper's 30-task runs report)."""
+        result = self.run(n_tasks)
+        rng = self.platform.measurement_rng(
+            "pipeline", self._schedule_key, n_tasks
+        )
+        return self.platform.measure(result.steady_interval_s, rng)

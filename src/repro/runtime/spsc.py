@@ -1,0 +1,117 @@
+"""Single-producer single-consumer queue (paper section 3.4).
+
+Dispatcher threads communicate through lightweight SPSC queues passing
+TaskObject *pointers* between pipeline chunks.  This implementation is a
+fixed-capacity ring buffer: the produce/consume fast paths only touch the
+head/tail counters (the lock protects Python-level visibility, standing in
+for the C++ version's acquire/release atomics), and both ends support
+closing for clean pipeline shutdown.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, List, Optional
+
+from repro.errors import QueueClosedError
+
+
+class SpscQueue:
+    """A bounded FIFO for exactly one producer and one consumer thread."""
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise ValueError("queue capacity must be >= 1")
+        self.capacity = capacity
+        self._ring: List[Any] = [None] * (capacity + 1)  # one slot spare
+        self._head = 0  # consumer position
+        self._tail = 0  # producer position
+        self._closed = False
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._not_full = threading.Condition(self._lock)
+
+    # ------------------------------------------------------------------
+    def _size_locked(self) -> int:
+        return (self._tail - self._head) % len(self._ring)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._size_locked()
+
+    @property
+    def closed(self) -> bool:
+        with self._lock:
+            return self._closed
+
+    # ------------------------------------------------------------------
+    def push(self, item: Any, timeout: Optional[float] = None) -> None:
+        """Enqueue, blocking while full.
+
+        Raises:
+            QueueClosedError: The queue was closed.
+            TimeoutError: ``timeout`` elapsed while full.
+        """
+        with self._not_full:
+            while self._size_locked() >= self.capacity:
+                if self._closed:
+                    raise QueueClosedError("push to closed queue")
+                if not self._not_full.wait(timeout):
+                    raise TimeoutError("SPSC push timed out")
+            if self._closed:
+                raise QueueClosedError("push to closed queue")
+            self._ring[self._tail] = item
+            self._tail = (self._tail + 1) % len(self._ring)
+            self._not_empty.notify()
+
+    def try_push(self, item: Any) -> bool:
+        """Non-blocking enqueue; False when full."""
+        with self._not_full:
+            if self._closed:
+                raise QueueClosedError("push to closed queue")
+            if self._size_locked() >= self.capacity:
+                return False
+            self._ring[self._tail] = item
+            self._tail = (self._tail + 1) % len(self._ring)
+            self._not_empty.notify()
+            return True
+
+    def pop(self, timeout: Optional[float] = None) -> Any:
+        """Dequeue, blocking while empty.
+
+        Raises:
+            QueueClosedError: Closed *and* drained.
+            TimeoutError: ``timeout`` elapsed while empty.
+        """
+        with self._not_empty:
+            while self._size_locked() == 0:
+                if self._closed:
+                    raise QueueClosedError("pop from closed, drained queue")
+                if not self._not_empty.wait(timeout):
+                    raise TimeoutError("SPSC pop timed out")
+            item = self._ring[self._head]
+            self._ring[self._head] = None
+            self._head = (self._head + 1) % len(self._ring)
+            self._not_full.notify()
+            return item
+
+    def try_pop(self) -> Any:
+        """Non-blocking dequeue; raises IndexError when empty."""
+        with self._not_empty:
+            if self._size_locked() == 0:
+                if self._closed:
+                    raise QueueClosedError("pop from closed, drained queue")
+                raise IndexError("queue empty")
+            item = self._ring[self._head]
+            self._ring[self._head] = None
+            self._head = (self._head + 1) % len(self._ring)
+            self._not_full.notify()
+            return item
+
+    def close(self) -> None:
+        """Mark the stream ended; consumers drain then get
+        :class:`QueueClosedError`, producers fail immediately."""
+        with self._lock:
+            self._closed = True
+            self._not_empty.notify_all()
+            self._not_full.notify_all()

@@ -1,0 +1,126 @@
+"""TaskObject: everything one streaming input needs, pre-allocated.
+
+Paper section 3.4: a TaskObject holds all memory buffers and metadata
+required to run an application end-to-end - unified buffers, host/device
+scratch, and scalar constants - allocated once and recycled between tasks
+so the steady-state pipeline never allocates.
+
+The object behaves like a mutable mapping from buffer name to the numpy
+array (the *unified* view), which is the interface the compute kernels
+consume; richer access (scoped views, attach hints) goes through
+:meth:`buffer`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Mapping, MutableMapping, Optional
+
+import numpy as np
+
+from repro.errors import PipelineError
+from repro.runtime.usm import UsmBuffer
+
+
+class TaskObject(MutableMapping):
+    """A recyclable container of buffers and constants for one task."""
+
+    def __init__(self, task_id: int = 0):
+        self.task_id = task_id
+        self.sequence = task_id  # updated on every recycle
+        self._buffers: Dict[str, UsmBuffer] = {}
+        self._constants: Dict[str, object] = {}
+        self._generation = 0
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def allocate(self, name: str, shape, dtype, scope: str = "unified") -> UsmBuffer:
+        """Pre-allocate a named buffer (refuses duplicates)."""
+        if name in self._buffers:
+            raise PipelineError(f"buffer {name!r} already allocated")
+        buffer = UsmBuffer(name, tuple(np.atleast_1d(shape).tolist())
+                           if not isinstance(shape, tuple) else shape,
+                           dtype, scope=scope)
+        self._buffers[name] = buffer
+        return buffer
+
+    def adopt(self, name: str, array: np.ndarray) -> UsmBuffer:
+        """Wrap an existing array's shape/dtype as a unified buffer and
+        copy its contents in (used when loading inputs)."""
+        buffer = self.allocate(name, array.shape, array.dtype)
+        np.copyto(buffer.host_view(), array)
+        return buffer
+
+    def set_constant(self, name: str, value) -> None:
+        """Attach a scalar parameter (e.g. input dimensions)."""
+        self._constants[name] = value
+
+    def constant(self, name: str):
+        """Read a scalar parameter."""
+        try:
+            return self._constants[name]
+        except KeyError:
+            raise PipelineError(f"no constant {name!r}") from None
+
+    @property
+    def constants(self) -> Mapping[str, object]:
+        return dict(self._constants)
+
+    # ------------------------------------------------------------------
+    # Mapping interface: kernels index buffers by name.
+    # ------------------------------------------------------------------
+    def buffer(self, name: str) -> UsmBuffer:
+        """The named UsmBuffer object (for scoped views/hints)."""
+        try:
+            return self._buffers[name]
+        except KeyError:
+            raise PipelineError(f"no buffer {name!r}") from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.buffer(name).host_view()
+
+    def __setitem__(self, name: str, array: np.ndarray) -> None:
+        if name in self._buffers:
+            target = self.buffer(name).host_view()
+            np.copyto(target, array)
+        else:
+            self.adopt(name, np.asarray(array))
+
+    def __delitem__(self, name: str) -> None:
+        del self._buffers[name]
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._buffers)
+
+    def __len__(self) -> int:
+        return len(self._buffers)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def synchronize_for(self, pu_class: str,
+                        names: Optional[Mapping] = None) -> None:
+        """Issue coherence hints for the buffers a chunk is about to use
+        (dispatcher step 2 in paper section 3.4)."""
+        targets = names if names is not None else list(self._buffers)
+        for name in targets:
+            self.buffer(name).attach_async(pu_class)
+
+    def recycle(self, new_sequence: int) -> None:
+        """Reset for reuse by a subsequent task (dispatcher recycling)."""
+        self.sequence = new_sequence
+        self._generation += 1
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    def total_bytes(self) -> int:
+        """Total bytes across all buffers."""
+        return sum(buffer.nbytes for buffer in self._buffers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"TaskObject(id={self.task_id}, seq={self.sequence}, "
+            f"{len(self._buffers)} buffers, {self.total_bytes()} bytes)"
+        )

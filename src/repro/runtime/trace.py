@@ -1,0 +1,81 @@
+"""Execution traces and ASCII Gantt rendering for simulated runs.
+
+The BT-Implementer is "a rigorous empirical tool for exploring and
+evaluating pipeline schedules" (paper section 1.1); being able to *see*
+a pipeline's overlap - which chunk stalls, where the bubble is - is half
+of that.  The simulator optionally records one :class:`Span` per
+(chunk, task) execution; :func:`format_gantt` renders the spans as a
+terminal Gantt chart, one row per chunk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+
+@dataclass(frozen=True)
+class Span:
+    """One chunk's processing of one task, in virtual time."""
+
+    chunk_index: int
+    pu_class: str
+    task_id: int
+    start_s: float
+    end_s: float
+
+    @property
+    def duration_s(self) -> float:
+        return self.end_s - self.start_s
+
+
+def format_gantt(spans: Sequence[Span], width: int = 72) -> str:
+    """Render spans as an ASCII Gantt chart.
+
+    One row per chunk; each task's span is drawn with the last hex digit
+    of its task id, so the pipeline diagonal is visible:
+
+        chunk 0 big    00111222333...
+        chunk 1 gpu    ..0011122233...
+    """
+    if not spans:
+        return "(empty trace)"
+    t_end = max(span.end_s for span in spans)
+    if t_end <= 0:
+        return "(zero-length trace)"
+    scale = width / t_end
+    chunks = sorted({(s.chunk_index, s.pu_class) for s in spans})
+    lines: List[str] = []
+    for chunk_index, pu_class in chunks:
+        row = [" "] * width
+        for span in spans:
+            if span.chunk_index != chunk_index:
+                continue
+            lo = min(int(span.start_s * scale), width - 1)
+            hi = max(min(int(span.end_s * scale), width), lo + 1)
+            glyph = format(span.task_id % 16, "x")
+            for col in range(lo, hi):
+                row[col] = glyph
+        label = f"chunk {chunk_index} {pu_class:7s}"
+        lines.append(f"{label} |{''.join(row)}|")
+    lines.append(
+        f"{'':16s} 0{'':{width - 10}s}{t_end * 1e3:.2f} ms"
+    )
+    return "\n".join(lines)
+
+
+def pipeline_bubbles(spans: Sequence[Span]) -> dict:
+    """Idle fraction per chunk between its first and last span - the
+    'bubble' a scheduler wants to minimize."""
+    out = {}
+    by_chunk: dict = {}
+    for span in spans:
+        by_chunk.setdefault(span.chunk_index, []).append(span)
+    for chunk_index, chunk_spans in by_chunk.items():
+        chunk_spans.sort(key=lambda s: s.start_s)
+        first = chunk_spans[0].start_s
+        last = chunk_spans[-1].end_s
+        busy = sum(s.duration_s for s in chunk_spans)
+        window = last - first
+        out[chunk_index] = 0.0 if window <= 0 else 1.0 - busy / window
+    return out

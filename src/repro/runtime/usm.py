@@ -1,0 +1,105 @@
+"""Unified shared memory buffers (paper section 3.1, ``UsmBuffer``).
+
+The paper targets UMA SoCs: one DRAM pool, one physical address space, so
+a buffer allocated once is visible to host and device with zero copies
+(``std::pmr::vector`` fronted by ``cudaMallocManaged`` / ``VkBuffer``
+allocators in the C++ implementation).  In Python the single numpy array
+*is* the unified allocation; ``host_view``/``device_view`` return the same
+storage, and the class additionally tracks the coherence hints the real
+runtime issues (``cudaStreamAttachMemAsync`` prefetches, Vulkan pipeline
+barriers) so tests can assert the dispatcher synchronizes correctly.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.errors import PipelineError
+
+
+class UsmBuffer:
+    """A named, pre-allocated unified-memory buffer.
+
+    Args:
+        name: Buffer identifier within its TaskObject.
+        shape: Numpy shape.
+        dtype: Numpy dtype.
+        scope: ``unified`` (default), ``host`` or ``device`` - the paper's
+            TaskObjects may also contain host- or device-only scratch
+            (e.g. GPU radix-sort histograms).  Scoped buffers refuse views
+            from the wrong side.
+    """
+
+    SCOPES = ("unified", "host", "device")
+
+    def __init__(self, name: str, shape: Tuple[int, ...], dtype,
+                 scope: str = "unified"):
+        if scope not in self.SCOPES:
+            raise PipelineError(f"bad buffer scope {scope!r}")
+        self.name = name
+        self.scope = scope
+        self._data = np.zeros(shape, dtype=dtype)
+        self._attach_log: List[str] = []
+
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self._data.shape
+
+    @property
+    def dtype(self) -> np.dtype:
+        return self._data.dtype
+
+    @property
+    def nbytes(self) -> int:
+        return self._data.nbytes
+
+    def host_view(self) -> np.ndarray:
+        """The host-side pointer (zero-copy: same storage as the device)."""
+        if self.scope == "device":
+            raise PipelineError(
+                f"buffer {self.name!r} is device-only; no host view"
+            )
+        return self._data
+
+    def device_view(self) -> np.ndarray:
+        """The device-side pointer (same storage - UMA)."""
+        if self.scope == "host":
+            raise PipelineError(
+                f"buffer {self.name!r} is host-only; no device view"
+            )
+        return self._data
+
+    def view_for(self, pu_class: str) -> np.ndarray:
+        """The appropriate view for the executing PU class."""
+        return self.device_view() if pu_class == "gpu" else self.host_view()
+
+    # ------------------------------------------------------------------
+    def attach_async(self, pu_class: str) -> None:
+        """Record a coherence/prefetch hint for the given PU.
+
+        Mirrors ``cudaStreamAttachMemAsync`` (CUDA) / the memory-barrier
+        recording into a ``VkCommandBuffer`` (Vulkan) issued by the
+        dispatcher before launching a chunk (paper section 3.4).
+        """
+        self._attach_log.append(pu_class)
+
+    @property
+    def attach_log(self) -> Tuple[str, ...]:
+        return tuple(self._attach_log)
+
+    def fill(self, value) -> None:
+        """Fill the buffer with a constant."""
+        self._data.fill(value)
+
+    def zero(self) -> None:
+        """Zero the buffer."""
+        self._data.fill(0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"UsmBuffer({self.name!r}, shape={self.shape}, "
+            f"dtype={self.dtype}, scope={self.scope})"
+        )

@@ -1,0 +1,219 @@
+"""JSON persistence for profiling tables, schedules and candidate sets.
+
+Collecting a profiling table takes ~6 minutes per device per application
+on real hardware (paper section 3.2), so a deployable framework must be
+able to cache and ship them.  This module round-trips the framework's
+data products through plain JSON:
+
+* :class:`~repro.core.profiler.ProfilingTable` - the expensive artifact,
+* :class:`~repro.core.schedule.Schedule` - the deployable artifact,
+* :class:`~repro.core.optimizer.OptimizationResult` - the candidate log
+  (enough to resume an autotuning campaign on-device).
+
+All dumps carry a ``kind`` and ``version`` tag; loads validate both.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.core.optimizer import OptimizationResult, ScheduleCandidate
+from repro.core.profiler import ProfilingTable
+from repro.core.schedule import Schedule
+from repro.errors import ReproError
+
+FORMAT_VERSION = 1
+
+PathLike = Union[str, Path]
+
+
+class SerializationError(ReproError):
+    """Raised for malformed or mismatched persisted artifacts."""
+
+
+def _tagged(kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+    return {"kind": kind, "version": FORMAT_VERSION, **payload}
+
+
+def _check_tag(data: Dict[str, Any], kind: str) -> None:
+    if not isinstance(data, dict):
+        raise SerializationError(f"expected a JSON object for {kind}")
+    if data.get("kind") != kind:
+        raise SerializationError(
+            f"expected kind {kind!r}, got {data.get('kind')!r}"
+        )
+    if data.get("version") != FORMAT_VERSION:
+        raise SerializationError(
+            f"unsupported {kind} version {data.get('version')!r}"
+        )
+
+
+# ----------------------------------------------------------------------
+# ProfilingTable
+# ----------------------------------------------------------------------
+def profiling_table_to_dict(table: ProfilingTable) -> Dict[str, Any]:
+    """Render a profiling table as a tagged JSON-ready dict."""
+    return _tagged("profiling_table", {
+        "application": table.application,
+        "platform": table.platform,
+        "mode": table.mode,
+        "stage_names": list(table.stage_names),
+        "pu_classes": list(table.pu_classes),
+        "latencies_s": [
+            [table.latency(stage, pu) for pu in table.pu_classes]
+            for stage in table.stage_names
+        ],
+        "stddevs_s": [
+            [table.stddev(stage, pu) for pu in table.pu_classes]
+            for stage in table.stage_names
+        ],
+    })
+
+
+def profiling_table_from_dict(data: Dict[str, Any]) -> ProfilingTable:
+    """Rebuild a profiling table from its tagged dict form."""
+    _check_tag(data, "profiling_table")
+    try:
+        stage_names = tuple(data["stage_names"])
+        pu_classes = tuple(data["pu_classes"])
+        rows = data["latencies_s"]
+        entries = {
+            (stage, pu): float(rows[i][j])
+            for i, stage in enumerate(stage_names)
+            for j, pu in enumerate(pu_classes)
+        }
+        std_rows = data.get("stddevs_s")
+        stddevs = {}
+        if std_rows is not None:
+            stddevs = {
+                (stage, pu): float(std_rows[i][j])
+                for i, stage in enumerate(stage_names)
+                for j, pu in enumerate(pu_classes)
+            }
+        return ProfilingTable(
+            application=data["application"],
+            platform=data["platform"],
+            mode=data["mode"],
+            entries=entries,
+            stage_names=stage_names,
+            pu_classes=pu_classes,
+            stddevs=stddevs,
+        )
+    except (KeyError, IndexError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed profiling table: {exc}") from exc
+
+
+# ----------------------------------------------------------------------
+# Schedule
+# ----------------------------------------------------------------------
+def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
+    """Render a schedule as a tagged JSON-ready dict."""
+    return _tagged("schedule", {"assignments": list(schedule.assignments)})
+
+
+def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+    """Rebuild a schedule (contiguity re-validated on load)."""
+    _check_tag(data, "schedule")
+    try:
+        return Schedule.from_assignments(data["assignments"])
+    except KeyError as exc:
+        raise SerializationError("schedule missing assignments") from exc
+
+
+# ----------------------------------------------------------------------
+# OptimizationResult
+# ----------------------------------------------------------------------
+def optimization_to_dict(result: OptimizationResult) -> Dict[str, Any]:
+    """Render an optimization result (candidate log) as a tagged dict."""
+    def candidate(c: ScheduleCandidate) -> Dict[str, Any]:
+        return {
+            "rank": c.rank,
+            "assignments": list(c.schedule.assignments),
+            "predicted_latency_s": c.predicted_latency_s,
+            "gapness_s": c.gapness_s,
+        }
+
+    return _tagged("optimization_result", {
+        "application": result.application,
+        "platform": result.platform,
+        "gap_threshold_s": result.gap_threshold_s,
+        "solver_invocations": result.solver_invocations,
+        "solver_wall_s": result.solver_wall_s,
+        "utilization_optimum": (
+            candidate(result.utilization_optimum)
+            if result.utilization_optimum is not None else None
+        ),
+        "candidates": [candidate(c) for c in result.candidates],
+    })
+
+
+def optimization_from_dict(data: Dict[str, Any]) -> OptimizationResult:
+    """Rebuild an optimization result from its tagged dict form."""
+    _check_tag(data, "optimization_result")
+
+    def candidate(entry: Dict[str, Any]) -> ScheduleCandidate:
+        return ScheduleCandidate(
+            rank=int(entry["rank"]),
+            schedule=Schedule.from_assignments(entry["assignments"]),
+            predicted_latency_s=float(entry["predicted_latency_s"]),
+            gapness_s=float(entry["gapness_s"]),
+        )
+
+    try:
+        return OptimizationResult(
+            application=data["application"],
+            platform=data["platform"],
+            candidates=[candidate(c) for c in data["candidates"]],
+            gap_threshold_s=float(data["gap_threshold_s"]),
+            utilization_optimum=(
+                candidate(data["utilization_optimum"])
+                if data.get("utilization_optimum") is not None else None
+            ),
+            solver_invocations=int(data.get("solver_invocations", 0)),
+            solver_wall_s=float(data.get("solver_wall_s", 0.0)),
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(
+            f"malformed optimization result: {exc}"
+        ) from exc
+
+
+# ----------------------------------------------------------------------
+# File helpers
+# ----------------------------------------------------------------------
+_DUMPERS = {
+    ProfilingTable: profiling_table_to_dict,
+    Schedule: schedule_to_dict,
+    OptimizationResult: optimization_to_dict,
+}
+_LOADERS = {
+    "profiling_table": profiling_table_from_dict,
+    "schedule": schedule_from_dict,
+    "optimization_result": optimization_from_dict,
+}
+
+
+def save(obj, path: PathLike) -> None:
+    """Persist a supported artifact as JSON."""
+    dumper = _DUMPERS.get(type(obj))
+    if dumper is None:
+        raise SerializationError(
+            f"cannot serialize {type(obj).__name__}"
+        )
+    Path(path).write_text(json.dumps(dumper(obj), indent=2))
+
+
+def load(path: PathLike):
+    """Load any supported artifact (dispatches on its ``kind`` tag)."""
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read {path}: {exc}") from exc
+    if not isinstance(data, dict) or "kind" not in data:
+        raise SerializationError(f"{path} is not a tagged artifact")
+    loader = _LOADERS.get(data["kind"])
+    if loader is None:
+        raise SerializationError(f"unknown artifact kind {data['kind']!r}")
+    return loader(data)

@@ -1,0 +1,128 @@
+"""Energy accounting for the virtual SoC (extension beyond the paper).
+
+The paper motivates edge processing with *reduced energy consumption*
+(section 1) but never measures it.  This module closes that gap for the
+reproduction: a simple activity-based power model per PU class turns the
+discrete-event simulator's busy/idle accounting into per-run energy, and
+enables energy-aware schedule comparison (see
+``benchmarks/ablations/test_energy_ablation.py``).
+
+Model: while a PU executes, it draws ``active_w``; otherwise ``idle_w``.
+Values are calibrated to public platform TDPs (the Jetson's 7 W / 25 W
+modes anchor the scale; phone SoCs sustain a few watts).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping
+
+from repro.errors import PlatformError
+
+#: Default per-class power draws (watts) by platform family.  Keyed by
+#: platform name; ``default`` covers unknown/custom platforms.
+_POWER_TABLES: Dict[str, Dict[str, "PowerSpec"]] = {}
+
+
+@dataclass(frozen=True)
+class PowerSpec:
+    """Active/idle power draw of one PU class."""
+
+    active_w: float
+    idle_w: float
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0 or self.active_w < self.idle_w:
+            raise PlatformError(
+                f"need 0 <= idle ({self.idle_w}) <= active "
+                f"({self.active_w})"
+            )
+
+
+def _register(platform: str, table: Mapping[str, PowerSpec]) -> None:
+    _POWER_TABLES[platform] = dict(table)
+
+
+_register("pixel7a", {
+    "big": PowerSpec(active_w=3.2, idle_w=0.15),
+    "medium": PowerSpec(active_w=1.6, idle_w=0.10),
+    "little": PowerSpec(active_w=0.8, idle_w=0.05),
+    "gpu": PowerSpec(active_w=3.5, idle_w=0.20),
+})
+_register("oneplus11", {
+    "big": PowerSpec(active_w=3.8, idle_w=0.15),
+    "medium": PowerSpec(active_w=2.6, idle_w=0.12),
+    "little": PowerSpec(active_w=0.7, idle_w=0.05),
+    "gpu": PowerSpec(active_w=4.5, idle_w=0.25),
+})
+_register("jetson_orin_nano", {
+    "big": PowerSpec(active_w=7.5, idle_w=0.60),
+    "gpu": PowerSpec(active_w=12.0, idle_w=1.00),
+})
+_register("jetson_orin_nano_lp", {
+    "big": PowerSpec(active_w=2.4, idle_w=0.40),
+    "gpu": PowerSpec(active_w=3.6, idle_w=0.60),
+})
+_register("default", {
+    "big": PowerSpec(active_w=3.0, idle_w=0.15),
+    "medium": PowerSpec(active_w=1.5, idle_w=0.10),
+    "little": PowerSpec(active_w=0.7, idle_w=0.05),
+    "gpu": PowerSpec(active_w=4.0, idle_w=0.25),
+})
+
+
+def power_table(platform_name: str) -> Dict[str, PowerSpec]:
+    """The per-class power specs for a platform (falls back to defaults)."""
+    return dict(_POWER_TABLES.get(platform_name, _POWER_TABLES["default"]))
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy accounting for one simulated pipeline run.
+
+    Attributes:
+        per_pu_j: Joules drawn per PU class over the whole run (active +
+            idle portions; idle PUs of the platform still leak).
+        total_j: Sum over PU classes.
+        per_task_j: Total energy divided by the tasks completed.
+    """
+
+    per_pu_j: Mapping[str, float]
+    total_j: float
+    per_task_j: float
+
+
+def estimate_energy(result, platform) -> EnergyReport:
+    """Energy of a :class:`~repro.runtime.simulator.SimulatedRunResult`.
+
+    Each chunk's PU draws active power for its busy seconds and idle
+    power for the rest of the run; platform PUs not used by the schedule
+    contribute idle power for the full duration (they exist and leak
+    whether scheduled or not - relevant when comparing schedules that
+    use different PU subsets).
+    """
+    specs = power_table(platform.name)
+    duration = result.total_s
+    busy_by_pu: Dict[str, float] = {}
+    for index, pu_class in result.chunk_pu.items():
+        busy_by_pu[pu_class] = (
+            busy_by_pu.get(pu_class, 0.0) + result.chunk_busy_s[index]
+        )
+    per_pu: Dict[str, float] = {}
+    for pu_class in platform.pu_classes():
+        spec = specs.get(pu_class)
+        if spec is None:
+            raise PlatformError(
+                f"no power spec for PU class {pu_class!r} on "
+                f"{platform.name}"
+            )
+        busy = min(busy_by_pu.get(pu_class, 0.0), duration)
+        per_pu[pu_class] = (
+            spec.active_w * busy + spec.idle_w * (duration - busy)
+        )
+    total = sum(per_pu.values())
+    return EnergyReport(
+        per_pu_j=per_pu,
+        total_j=total,
+        per_task_j=total / max(result.n_tasks, 1),
+    )

@@ -1,0 +1,136 @@
+"""Intra-application interference model.
+
+This is the phenomenon the whole paper is about (sections 3.2 and 5.3):
+on edge SoCs, what the *other* PUs are doing changes a PU's throughput, in
+platform-specific and even counter-intuitive ways:
+
+* shared-DRAM bandwidth contention slows memory-bound kernels everywhere;
+* vendor DVFS governors *boost* some PUs under system load - the mobile
+  GPUs (Vulkan) and the OnePlus little cores got faster in the paper's
+  measurements - while thermal/power budgets slow others (Jetson GPU,
+  most CPU clusters).
+
+The model exposes exactly what the rate-based discrete-event simulator
+needs: given that a PU executes a kernel with memory-boundedness ``beta``
+and bandwidth demand ``d`` while a set of co-runners draws bandwidth and
+keeps ``co_load`` of the other PUs busy, produce an instantaneous *speed
+multiplier* (< 1 means slower than isolated).
+
+Design note: the profiler never sees this class.  It only observes times,
+which is what makes the reproduction honest: interference-aware profiling
+(paper section 3.2) measures the co-run condition, it does not read the
+model's parameters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+from repro.errors import PlatformError
+
+
+@dataclass(frozen=True)
+class DvfsCurve:
+    """Frequency response of one PU class to co-run load.
+
+    ``speed_at_full_load`` is the compute-speed multiplier when *all* other
+    PUs are busy; at partial load the multiplier interpolates linearly from
+    1.0.  Values above 1.0 model vendor boost behaviour (paper section 5.3
+    observed up to ~2x GPU speedups under heavy CPU load).
+    """
+
+    speed_at_full_load: float
+
+    def speed(self, co_load: float) -> float:
+        """Compute-speed multiplier at a given co-run load."""
+        if not 0.0 <= co_load <= 1.0:
+            raise PlatformError(f"co_load must be in [0, 1], got {co_load}")
+        return 1.0 + (self.speed_at_full_load - 1.0) * co_load
+
+
+@dataclass(frozen=True)
+class InterferenceModel:
+    """Contention + DVFS response for one platform.
+
+    Attributes:
+        dram_bw_gbps: Total DRAM bandwidth shared by every PU (UMA).
+        dvfs: Per-PU-class DVFS curves.
+    """
+
+    dram_bw_gbps: float
+    dvfs: Mapping[str, DvfsCurve] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.dram_bw_gbps <= 0:
+            raise PlatformError("dram_bw_gbps must be positive")
+
+    # ------------------------------------------------------------------
+    def compute_speed(self, pu_class: str, co_load: float) -> float:
+        """Compute-side speed multiplier for ``pu_class`` when a fraction
+        ``co_load`` of the other PUs is busy."""
+        curve = self.dvfs.get(pu_class)
+        if curve is None:
+            return 1.0
+        return curve.speed(co_load)
+
+    def bandwidth_factor(
+        self, demand_gbps: float, total_demand_gbps: float
+    ) -> float:
+        """Fraction of its requested bandwidth a PU actually achieves.
+
+        Bandwidth is allocated proportionally to demand when the sum of all
+        demands exceeds the DRAM capability (a standard fair-share memory
+        controller abstraction).
+        """
+        if demand_gbps <= 0.0:
+            return 1.0
+        if total_demand_gbps <= self.dram_bw_gbps:
+            return 1.0
+        return self.dram_bw_gbps / total_demand_gbps
+
+    def speed_multiplier(
+        self,
+        pu_class: str,
+        memory_boundedness: float,
+        demand_gbps: float,
+        total_demand_gbps: float,
+        co_load: float,
+    ) -> float:
+        """Overall instantaneous speed multiplier for a running kernel.
+
+        The kernel's time splits into a compute-bound part (scaled by the
+        DVFS response) and a memory-bound part (scaled by the achieved
+        bandwidth share); the multiplier is the harmonic combination:
+
+        ``1 / ((1 - beta) / compute_speed + beta / bandwidth_factor)``
+        """
+        if not 0.0 <= memory_boundedness <= 1.0:
+            raise PlatformError(
+                f"memory_boundedness must be in [0, 1], got "
+                f"{memory_boundedness}"
+            )
+        compute = self.compute_speed(pu_class, co_load)
+        bandwidth = self.bandwidth_factor(demand_gbps, total_demand_gbps)
+        beta = memory_boundedness
+        return 1.0 / ((1.0 - beta) / compute + beta / bandwidth)
+
+
+def co_load_fraction(busy_other_pus: int, total_other_pus: int) -> float:
+    """Fraction of the *other* PUs currently busy, the DVFS model input.
+
+    The interference-heavy profiling mode (paper section 3.2) corresponds
+    to ``busy == total`` (all other PUs run the same computation), i.e. a
+    co-load of 1.0; isolated profiling is 0.0.  During real pipeline
+    execution the value moves between the two - which is precisely why
+    isolated profiles mispredict and why even interference-heavy profiles
+    retain a small error the autotuner (section 3.3, level 3) mops up.
+    """
+    if total_other_pus <= 0:
+        return 0.0
+    if busy_other_pus < 0 or busy_other_pus > total_other_pus:
+        raise PlatformError(
+            f"busy_other_pus={busy_other_pus} out of range "
+            f"[0, {total_other_pus}]"
+        )
+    return busy_other_pus / total_other_pus

@@ -1,0 +1,153 @@
+"""Tests for the AlexNet applications (dense and sparse)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    build_alexnet_dense,
+    build_alexnet_sparse,
+    cifar_like_image,
+    make_weights,
+)
+from repro.apps.alexnet import CONV_LAYERS, FC_IN
+from repro.core import Chunk
+from repro.runtime import ThreadedPipelineExecutor
+
+
+@pytest.fixture(scope="module")
+def dense_app():
+    return build_alexnet_dense()
+
+
+@pytest.fixture(scope="module")
+def sparse_app():
+    return build_alexnet_sparse(batch=2)
+
+
+def run_single_task(app, chunks, n_tasks=1):
+    captured = {}
+
+    def capture(task, index):
+        captured.setdefault(index, np.asarray(task["logits"]).copy())
+
+    ThreadedPipelineExecutor(app, chunks).run(
+        n_tasks, on_complete=capture, validate=True
+    )
+    return captured
+
+
+class TestArchitecture:
+    def test_nine_stages(self, dense_app, sparse_app):
+        assert dense_app.num_stages == 9
+        assert sparse_app.num_stages == 9
+
+    def test_stage_order(self, dense_app):
+        assert dense_app.stage_names == (
+            "conv1", "pool1", "conv2", "pool2", "conv3", "pool3",
+            "conv4", "pool4", "linear",
+        )
+
+    def test_fc_input_matches_last_pool(self):
+        spec, hw = CONV_LAYERS[-1]
+        assert FC_IN == spec.out_channels * (hw // 2) ** 2
+
+    def test_weights_deterministic(self):
+        a, b = make_weights(1), make_weights(1)
+        for wa, wb in zip(a.conv_weights, b.conv_weights):
+            np.testing.assert_array_equal(wa, wb)
+
+    def test_weights_differ_by_seed(self):
+        a, b = make_weights(1), make_weights(2)
+        assert not np.array_equal(a.conv_weights[0], b.conv_weights[0])
+
+
+class TestDenseFunctional:
+    def test_logits_deterministic_across_runs(self, dense_app):
+        a = run_single_task(dense_app, [Chunk(0, 9, "gpu")])
+        b = run_single_task(dense_app, [Chunk(0, 9, "big")])
+        np.testing.assert_allclose(a[0], b[0], rtol=1e-4, atol=1e-5)
+
+    def test_schedule_invariance(self, dense_app):
+        mixed = run_single_task(
+            dense_app,
+            [Chunk(0, 3, "big"), Chunk(3, 6, "gpu"), Chunk(6, 9, "medium")],
+        )
+        reference = run_single_task(dense_app, [Chunk(0, 9, "big")])
+        np.testing.assert_allclose(mixed[0], reference[0], rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_different_inputs_different_logits(self, dense_app):
+        captured = run_single_task(dense_app, [Chunk(0, 9, "big")],
+                                   n_tasks=2)
+        assert not np.allclose(captured[0], captured[1])
+
+    def test_logit_shape(self, dense_app):
+        captured = run_single_task(dense_app, [Chunk(0, 9, "big")])
+        assert captured[0].shape == (10,)
+
+
+class TestSparseFunctional:
+    def test_batched_logits_shape(self, sparse_app):
+        captured = run_single_task(sparse_app, [Chunk(0, 9, "big")])
+        assert captured[0].shape == (2, 10)
+
+    def test_schedule_invariance(self, sparse_app):
+        mixed = run_single_task(
+            sparse_app, [Chunk(0, 5, "gpu"), Chunk(5, 9, "big")]
+        )
+        reference = run_single_task(sparse_app, [Chunk(0, 9, "big")])
+        np.testing.assert_allclose(mixed[0], reference[0], rtol=1e-4,
+                                   atol=1e-5)
+
+    def test_sparser_model_has_fewer_nonzeros(self):
+        from repro.kernels import prune_to_csr
+
+        weights = make_weights().conv_weights[1]
+        lighter = prune_to_csr(weights, sparsity=0.9)
+        heavier = prune_to_csr(weights, sparsity=0.5)
+        assert lighter.nnz < heavier.nnz
+
+    def test_sparse_work_scales_with_batch(self):
+        small = build_alexnet_sparse(batch=2)
+        large = build_alexnet_sparse(batch=8)
+        assert (
+            large.stage("sparse-conv2").work.flops
+            == pytest.approx(4 * small.stage("sparse-conv2").work.flops)
+        )
+
+    def test_sparse_flops_far_below_dense(self, dense_app):
+        sparse = build_alexnet_sparse(batch=1)
+        dense_flops = sum(
+            s.work.flops for s in dense_app.stages
+            if s.name.startswith("conv")
+        )
+        sparse_flops = sum(
+            s.work.flops for s in sparse.stages
+            if s.name.startswith("sparse-conv")
+        )
+        assert sparse_flops < 0.05 * dense_flops
+
+
+class TestWorkProfiles:
+    def test_conv_dominates_pool(self, dense_app):
+        assert (
+            dense_app.stage("conv2").work.flops
+            > 50 * dense_app.stage("pool2").work.flops
+        )
+
+    def test_sparse_conv_is_irregular(self, sparse_app, dense_app):
+        assert (
+            sparse_app.stage("sparse-conv2").work.irregularity
+            > dense_app.stage("conv2").work.irregularity
+        )
+
+    def test_inputs_are_deterministic(self):
+        np.testing.assert_array_equal(
+            cifar_like_image(5), cifar_like_image(5)
+        )
+        assert not np.array_equal(cifar_like_image(5), cifar_like_image(6))
+
+    def test_input_range(self):
+        image = cifar_like_image(0)
+        assert image.shape == (3, 32, 32)
+        assert image.min() >= 0.0 and image.max() <= 1.0

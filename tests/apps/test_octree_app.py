@@ -1,0 +1,165 @@
+"""Tests for the Octree application wiring and its data sets."""
+
+import numpy as np
+import pytest
+
+from repro.apps import (
+    build_octree_application,
+    point_cloud,
+    validate_octree_task,
+)
+from repro.core import Chunk
+from repro.errors import KernelError
+from repro.runtime import ThreadedPipelineExecutor
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_octree_application(n_points=600)
+
+
+def run_once(app, chunks):
+    captured = {}
+
+    def capture(task, index):
+        captured["cells"] = int(np.asarray(task["oc_num_cells"])[0])
+        captured["unique"] = int(np.asarray(task["unique_count"])[0])
+        n = captured["cells"]
+        captured["levels"] = np.asarray(task["oc_level"])[:n].copy()
+        captured["parents"] = np.asarray(task["oc_parent"])[:n].copy()
+
+    ThreadedPipelineExecutor(app, chunks).run(
+        1, on_complete=capture, validate=True
+    )
+    return captured
+
+
+class TestStructure:
+    def test_seven_stages_in_paper_order(self, app):
+        assert app.stage_names == (
+            "morton", "sort", "unique", "radix-tree", "edge-count",
+            "prefix-sum", "build-octree",
+        )
+
+    def test_rejects_tiny_cloud(self):
+        with pytest.raises(KernelError):
+            build_octree_application(n_points=1)
+
+    def test_description_matches_table1(self, app):
+        assert app.input_kind == "PC"
+        assert "octree" in app.name
+
+
+class TestFunctional:
+    def test_builds_valid_octree(self, app):
+        result = run_once(app, [Chunk(0, 7, "big")])
+        assert result["cells"] >= 1
+        assert result["unique"] <= 600
+        assert (result["parents"] < 0).sum() == 1
+
+    def test_schedule_invariance(self, app):
+        a = run_once(app, [Chunk(0, 7, "big")])
+        b = run_once(
+            app,
+            [Chunk(0, 2, "medium"), Chunk(2, 5, "gpu"),
+             Chunk(5, 7, "little")],
+        )
+        assert a["cells"] == b["cells"]
+        np.testing.assert_array_equal(a["levels"], b["levels"])
+        np.testing.assert_array_equal(a["parents"], b["parents"])
+
+    def test_duplicate_heavy_cloud_shrinks_unique(self):
+        app = build_octree_application(n_points=500)
+        result = run_once(app, [Chunk(0, 7, "big")])
+        # Structured (surface-heavy) clouds quantize with collisions.
+        assert result["unique"] < 500 or result["unique"] == 500
+
+    def test_streaming_multiple_clouds(self, app):
+        counts = []
+        ThreadedPipelineExecutor(app, [Chunk(0, 7, "big")]).run(
+            3,
+            on_complete=lambda task, i: counts.append(
+                int(np.asarray(task["oc_num_cells"])[0])
+            ),
+            validate=True,
+        )
+        assert len(counts) == 3
+        assert all(c >= 1 for c in counts)
+        # Different clouds produce different octrees.
+        assert len(set(counts)) > 1
+
+
+class TestValidator:
+    def test_rejects_empty_octree(self):
+        task = {
+            "oc_num_cells": np.zeros(1, dtype=np.int64),
+            "oc_level": np.zeros(4, dtype=np.int64),
+            "oc_parent": np.full(4, -1, dtype=np.int64),
+        }
+        with pytest.raises(ValueError):
+            validate_octree_task(task)
+
+    def test_rejects_two_roots(self):
+        task = {
+            "oc_num_cells": np.array([2], dtype=np.int64),
+            "oc_level": np.array([0, 0], dtype=np.int64),
+            "oc_parent": np.array([-1, -1], dtype=np.int64),
+        }
+        with pytest.raises(ValueError):
+            validate_octree_task(task)
+
+    def test_rejects_level_skip(self):
+        task = {
+            "oc_num_cells": np.array([2], dtype=np.int64),
+            "oc_level": np.array([0, 2], dtype=np.int64),
+            "oc_parent": np.array([-1, 0], dtype=np.int64),
+        }
+        with pytest.raises(ValueError):
+            validate_octree_task(task)
+
+
+class TestPointCloud:
+    def test_deterministic(self):
+        np.testing.assert_array_equal(
+            point_cloud(3, 100), point_cloud(3, 100)
+        )
+
+    def test_within_unit_cube(self):
+        cloud = point_cloud(0, 1000)
+        assert cloud.min() >= 0.0 and cloud.max() <= 1.0
+        assert cloud.shape == (1000, 3)
+
+    def test_structured_not_uniform(self):
+        """Surface concentration: some Morton cells are crowded."""
+        from repro.kernels import morton_encode_cpu
+
+        cloud = point_cloud(1, 5000)
+        codes = np.zeros(5000, dtype=np.uint32)
+        morton_encode_cpu(cloud, codes)
+        _, counts = np.unique(codes >> np.uint32(15), return_counts=True)
+        uniform_expectation = 5000 / len(counts)
+        assert counts.max() > 3 * uniform_expectation
+
+    def test_rejects_zero_points(self):
+        with pytest.raises(KernelError):
+            point_cloud(0, 0)
+
+
+class TestWorkProfiles:
+    def test_profiles_scale_with_cloud_size(self):
+        small = build_octree_application(n_points=1000)
+        large = build_octree_application(n_points=4000)
+        assert (
+            large.stage("sort").work.flops
+            > small.stage("sort").work.flops
+        )
+
+    def test_sort_is_gpu_hostile_profile(self, app):
+        sort = app.stage("sort").work
+        assert sort.gpu_launches > 10
+        assert sort.gpu_efficiency < 0.2
+
+    def test_radix_tree_is_parallel_profile(self, app):
+        tree = app.stage("radix-tree").work
+        assert tree.parallel_fraction == 1.0
+        assert tree.parallelism > 100

@@ -1,0 +1,52 @@
+"""Tests for BetterTogether's configuration knobs."""
+
+import pytest
+
+from repro.apps import build_octree_application
+from repro.core import BetterTogether
+from repro.soc import get_platform
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_octree_application(n_points=10_000)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return get_platform("jetson_orin_nano")
+
+
+class TestKnobs:
+    def test_k_limits_candidates(self, app, platform):
+        plan = BetterTogether(platform, repetitions=2, k=3,
+                              eval_tasks=6).run(app)
+        assert len(plan.optimization.candidates) == 3
+
+    def test_autotune_top_limits_measurements(self, app, platform):
+        plan = BetterTogether(platform, repetitions=2, k=6,
+                              autotune_top=2, eval_tasks=6).run(app)
+        assert len(plan.autotune.entries) == 2
+        assert len(plan.optimization.candidates) == 6
+
+    def test_default_autotunes_all_candidates(self, app, platform):
+        plan = BetterTogether(platform, repetitions=2, k=4,
+                              eval_tasks=6).run(app)
+        assert len(plan.autotune.entries) == len(
+            plan.optimization.candidates
+        )
+
+    def test_gap_slack_zero_keeps_only_tightest(self, app, platform):
+        tight = BetterTogether(platform, repetitions=2, k=4,
+                               gap_slack=0.0, eval_tasks=6)
+        loose = BetterTogether(platform, repetitions=2, k=4,
+                               gap_slack=5.0, eval_tasks=6)
+        tight_plan = tight.run(app)
+        loose_plan = loose.run(app)
+        assert (tight_plan.optimization.gap_threshold_s
+                < loose_plan.optimization.gap_threshold_s)
+
+    def test_profile_mode_passthrough(self, app, platform):
+        framework = BetterTogether(platform, repetitions=2)
+        table = framework.profile(app, mode="isolated")
+        assert table.mode == "isolated"

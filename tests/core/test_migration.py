@@ -1,0 +1,92 @@
+"""Tests for cross-platform deployment migration (framework extension)."""
+
+import pytest
+
+from repro.apps import build_octree_application
+from repro.core import BetterTogether
+from repro.soc import get_platform
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_octree_application(n_points=10_000)
+
+
+@pytest.fixture(scope="module")
+def jetson_plan(app):
+    framework = BetterTogether(
+        get_platform("jetson_orin_nano"), repetitions=3, k=6,
+        eval_tasks=8,
+    )
+    return framework.run(app)
+
+
+class TestMigrate:
+    def test_power_mode_flip_reuses_candidates(self, app, jetson_plan):
+        """Jetson normal -> 7W mode: same PU classes, so migration only
+        re-runs level 3 on the cached candidates."""
+        lp = BetterTogether(
+            get_platform("jetson_orin_nano_lp"), repetitions=3, k=6,
+            eval_tasks=8,
+        )
+        migrated = lp.migrate(jetson_plan)
+        assert migrated.platform.name == "jetson_orin_nano_lp"
+        # Candidate log is the original one (no re-profiling happened).
+        assert migrated.optimization is jetson_plan.optimization
+        # The measured pick is valid for the new platform.
+        assert set(migrated.schedule.pu_classes_used) <= set(
+            migrated.platform.schedulable_classes()
+        )
+
+    def test_migrated_pick_is_measured_best_on_new_platform(
+        self, app, jetson_plan
+    ):
+        lp = BetterTogether(
+            get_platform("jetson_orin_nano_lp"), repetitions=3, k=6,
+            eval_tasks=8,
+        )
+        migrated = lp.migrate(jetson_plan)
+        measured = [
+            e.measured_latency_s for e in migrated.autotune.entries
+        ]
+        assert migrated.measured_latency_s == min(measured)
+
+    def test_migration_to_richer_platform_keeps_usable_candidates(
+        self, app, jetson_plan
+    ):
+        """Jetson candidates (big/gpu) are schedulable on a Pixel, so
+        they migrate - even though a native plan might do better."""
+        pixel = BetterTogether(
+            get_platform("pixel7a"), repetitions=3, k=6, eval_tasks=8
+        )
+        migrated = pixel.migrate(jetson_plan)
+        assert migrated.optimization is jetson_plan.optimization
+
+    def test_migration_falls_back_to_full_flow_when_pus_missing(self, app):
+        """Pixel plans use medium/little cores; the Jetson cannot host
+        them, so migration must re-run the whole flow."""
+        pixel_plan = BetterTogether(
+            get_platform("pixel7a"), repetitions=3, k=6, eval_tasks=8
+        ).run(app)
+        uses_extra = any(
+            pu in ("medium", "little")
+            for candidate in pixel_plan.optimization.candidates
+            for pu in candidate.schedule.pu_classes_used
+        )
+        assert uses_extra  # precondition for the fallback path
+        jetson = BetterTogether(
+            get_platform("jetson_orin_nano"), repetitions=3, k=6,
+            eval_tasks=8,
+        )
+        migrated = jetson.migrate(pixel_plan)
+        assert set(migrated.schedule.pu_classes_used) <= {"big", "gpu"}
+
+    def test_original_plan_untouched(self, app, jetson_plan):
+        before = jetson_plan.measured_latency_s
+        lp = BetterTogether(
+            get_platform("jetson_orin_nano_lp"), repetitions=3, k=6,
+            eval_tasks=8,
+        )
+        lp.migrate(jetson_plan)
+        assert jetson_plan.measured_latency_s == before
+        assert jetson_plan.platform.name == "jetson_orin_nano"

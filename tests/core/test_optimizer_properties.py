@@ -1,0 +1,124 @@
+"""Property-based validation of BT-Optimizer against brute force.
+
+For random profiling tables, the solver-based optimizer must find
+exactly the optima that exhaustive enumeration over all contiguous
+schedules finds - both for the gapness objective (level 1) and for
+latency-under-threshold (level 2's first candidate).
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Application, Stage
+from repro.core.optimizer import BTOptimizer
+from repro.core.profiler import ProfilingTable
+from repro.core.schedule import enumerate_schedules
+from repro.soc import WorkProfile
+
+
+def make_case(latencies):
+    """latencies: list of per-stage lists, one column per PU."""
+    n = len(latencies)
+    m = len(latencies[0])
+    pus = tuple(f"pu{j}" for j in range(m))
+    app = Application(
+        "prop",
+        [Stage.model_only(f"s{i}", WorkProfile(flops=1.0, bytes_moved=1.0))
+         for i in range(n)],
+    )
+    entries = {
+        (f"s{i}", pus[j]): latencies[i][j]
+        for i in range(n)
+        for j in range(m)
+    }
+    table = ProfilingTable(
+        application="prop", platform="test", mode="interference",
+        entries=entries, stage_names=app.stage_names, pu_classes=pus,
+    )
+    return app, table
+
+
+latency_tables = st.integers(min_value=2, max_value=6).flatmap(
+    lambda n: st.integers(min_value=1, max_value=3).flatmap(
+        lambda m: st.lists(
+            st.lists(
+                st.floats(min_value=0.01, max_value=10.0,
+                          allow_nan=False, allow_infinity=False),
+                min_size=m, max_size=m,
+            ),
+            min_size=n, max_size=n,
+        )
+    )
+)
+
+
+class TestAgainstBruteForce:
+    @settings(max_examples=40, deadline=None)
+    @given(latency_tables)
+    def test_gapness_optimum_is_global(self, latencies):
+        app, table = make_case(latencies)
+        best = BTOptimizer(app, table).optimize_utilization()
+        brute = min(
+            s.gapness(app, table)
+            for s in enumerate_schedules(app.num_stages, table.pu_classes)
+        )
+        assert best.gapness_s == pytest.approx(brute, abs=1e-9)
+
+    @settings(max_examples=40, deadline=None)
+    @given(latency_tables)
+    def test_unfiltered_latency_optimum_is_global(self, latencies):
+        app, table = make_case(latencies)
+        result = BTOptimizer(app, table, k=1,
+                             gap_slack=math.inf).optimize()
+        brute = min(
+            s.predicted_latency(app, table)
+            for s in enumerate_schedules(app.num_stages, table.pu_classes)
+        )
+        assert result.best.predicted_latency_s == pytest.approx(
+            brute, abs=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(latency_tables)
+    def test_filtered_optimum_respects_threshold_and_is_best(
+        self, latencies
+    ):
+        app, table = make_case(latencies)
+        result = BTOptimizer(app, table, k=1).optimize()
+        threshold = result.gap_threshold_s
+        feasible = [
+            s for s in enumerate_schedules(app.num_stages, table.pu_classes)
+            if s.gapness(app, table) <= threshold + 1e-9
+        ]
+        assert feasible, "threshold always admits the gapness optimum"
+        brute = min(s.predicted_latency(app, table) for s in feasible)
+        assert result.best.predicted_latency_s == pytest.approx(
+            brute, abs=1e-9
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(latency_tables)
+    def test_enumeration_is_exhaustive_and_distinct(self, latencies):
+        app, table = make_case(latencies)
+        space = enumerate_schedules(app.num_stages, table.pu_classes)
+        result = BTOptimizer(app, table, k=len(space) + 5,
+                             gap_slack=math.inf).optimize()
+        assert len(result.candidates) == len(space)
+        seen = {c.schedule.assignments for c in result.candidates}
+        assert len(seen) == len(space)
+
+    @settings(max_examples=25, deadline=None)
+    @given(latency_tables)
+    def test_candidate_predictions_are_self_consistent(self, latencies):
+        app, table = make_case(latencies)
+        result = BTOptimizer(app, table, k=5).optimize()
+        for candidate in result.candidates:
+            assert candidate.predicted_latency_s == pytest.approx(
+                candidate.schedule.predicted_latency(app, table)
+            )
+            assert candidate.gapness_s == pytest.approx(
+                candidate.schedule.gapness(app, table)
+            )

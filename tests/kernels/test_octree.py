@@ -1,0 +1,188 @@
+"""Tests for edge counting and octree construction (Karras section 4)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernels import (
+    allocate_octree,
+    allocate_tree,
+    build_octree_cpu,
+    build_octree_gpu,
+    build_radix_tree_cpu,
+    count_edges_cpu,
+    count_edges_gpu,
+    exclusive_scan_cpu,
+)
+
+
+def make_pipeline_inputs(codes):
+    """Run stages 4-6 (tree, counts, offsets) for given sorted codes."""
+    n = len(codes)
+    tree = allocate_tree(n)
+    build_radix_tree_cpu(codes, tree)
+    counts = np.zeros(max(n - 1, 1), dtype=np.int64)[: n - 1]
+    count_edges_cpu(tree, counts)
+    offsets = np.zeros_like(counts)
+    exclusive_scan_cpu(counts, offsets)
+    return tree, counts, offsets
+
+
+def build_full(codes):
+    tree, counts, offsets = make_pipeline_inputs(codes)
+    total = int(offsets[-1] + counts[-1]) if len(counts) else 1
+    octree = allocate_octree(max(total, 1))
+    build_octree_cpu(tree, codes, counts, offsets, octree)
+    return tree, counts, offsets, octree
+
+
+def make_codes(n, seed=0):
+    rng = np.random.default_rng(seed)
+    codes = rng.choice(1 << 30, size=n, replace=False).astype(np.uint32)
+    return np.sort(codes)
+
+
+distinct_sorted_codes = (
+    st.sets(st.integers(min_value=0, max_value=(1 << 30) - 1),
+            min_size=2, max_size=48)
+    .map(lambda s: np.asarray(sorted(s), dtype=np.uint32))
+)
+
+
+class TestEdgeCounts:
+    def test_cpu_gpu_agree(self):
+        codes = make_codes(200, seed=1)
+        tree, counts, _ = make_pipeline_inputs(codes)
+        gpu_counts = np.zeros_like(counts)
+        count_edges_gpu(tree, gpu_counts)
+        np.testing.assert_array_equal(counts, gpu_counts)
+
+    def test_counts_non_negative(self):
+        codes = make_codes(300, seed=2)
+        _, counts, _ = make_pipeline_inputs(codes)
+        assert np.all(counts >= 0)
+
+    def test_root_owns_at_least_one_cell(self):
+        codes = make_codes(50, seed=3)
+        _, counts, _ = make_pipeline_inputs(codes)
+        assert counts[0] >= 1
+
+    def test_two_distant_codes(self):
+        codes = np.array([0, (1 << 30) - 1], dtype=np.uint32)
+        _, counts, _ = make_pipeline_inputs(codes)
+        # Root prefix is empty -> exactly the octree root cell.
+        assert counts[0] == 1
+
+    def test_size_mismatch_rejected(self):
+        codes = make_codes(10, seed=4)
+        tree, _, _ = make_pipeline_inputs(codes)
+        with pytest.raises(KernelError):
+            count_edges_cpu(tree, np.zeros(3, dtype=np.int64))
+
+    @settings(max_examples=30, deadline=None)
+    @given(distinct_sorted_codes)
+    def test_property_total_cells_bounded(self, codes):
+        """Total octree cells cannot exceed 10 levels per leaf path."""
+        _, counts, _ = make_pipeline_inputs(codes)
+        assert counts.sum() <= 11 * len(codes)
+
+
+class TestOctreeBuild:
+    def test_cpu_gpu_agree(self):
+        codes = make_codes(150, seed=5)
+        tree, counts, offsets = make_pipeline_inputs(codes)
+        total = int(offsets[-1] + counts[-1])
+        a = allocate_octree(total)
+        b = allocate_octree(total)
+        build_octree_cpu(tree, codes, counts, offsets, a)
+        build_octree_gpu(tree, codes, counts, offsets, b)
+        np.testing.assert_array_equal(a.level, b.level)
+        np.testing.assert_array_equal(a.code, b.code)
+        np.testing.assert_array_equal(a.parent, b.parent)
+        np.testing.assert_array_equal(a.children, b.children)
+        assert a.num_cells == b.num_cells
+
+    def test_single_root_cell(self):
+        _, _, _, octree = build_full(make_codes(40, seed=6))
+        roots = [
+            cell for cell in range(octree.num_cells)
+            if octree.parent[cell] < 0
+        ]
+        assert roots == [0] or octree.level[roots[0]] == 0
+        assert len(roots) == 1
+
+    def test_parent_is_exactly_one_level_up(self):
+        _, _, _, octree = build_full(make_codes(80, seed=7))
+        for cell in range(octree.num_cells):
+            parent = octree.parent[cell]
+            if parent >= 0:
+                assert octree.level[cell] == octree.level[parent] + 1
+
+    def test_child_links_are_consistent(self):
+        _, _, _, octree = build_full(make_codes(60, seed=8))
+        for cell in range(octree.num_cells):
+            parent = octree.parent[cell]
+            if parent >= 0:
+                assert cell in octree.children[parent]
+        for cell in range(octree.num_cells):
+            for child in octree.children[cell]:
+                if child >= 0:
+                    assert octree.parent[child] == cell
+
+    def test_child_code_extends_parent_prefix(self):
+        _, _, _, octree = build_full(make_codes(70, seed=9))
+        for cell in range(octree.num_cells):
+            parent = octree.parent[cell]
+            if parent < 0:
+                continue
+            plevel = int(octree.level[parent])
+            shift = 3 * (10 - plevel)
+            assert (int(octree.code[cell]) >> shift) == (
+                int(octree.code[parent]) >> shift
+            )
+
+    def test_degenerate_single_point(self):
+        codes = np.array([123], dtype=np.uint32)
+        tree = allocate_tree(1)
+        build_radix_tree_cpu(codes, tree)
+        octree = allocate_octree(1)
+        build_octree_cpu(
+            tree, codes, np.zeros(0, dtype=np.int64),
+            np.zeros(0, dtype=np.int64), octree,
+        )
+        assert octree.num_cells == 1
+        assert octree.level[0] == 0
+
+    def test_over_capacity_rejected(self):
+        codes = make_codes(30, seed=10)
+        tree, counts, offsets = make_pipeline_inputs(codes)
+        octree = allocate_octree(1)
+        if int(offsets[-1] + counts[-1]) > 1:
+            with pytest.raises(KernelError):
+                build_octree_cpu(tree, codes, counts, offsets, octree)
+
+    @settings(max_examples=25, deadline=None)
+    @given(distinct_sorted_codes)
+    def test_property_every_cell_reachable_from_root(self, codes):
+        _, _, _, octree = build_full(codes)
+        for cell in range(octree.num_cells):
+            node, hops = cell, 0
+            while octree.parent[node] >= 0:
+                node = octree.parent[node]
+                hops += 1
+                assert hops <= octree.num_cells
+            assert octree.level[node] == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(distinct_sorted_codes)
+    def test_property_levels_within_morton_depth(self, codes):
+        _, _, _, octree = build_full(codes)
+        levels = octree.level[: octree.num_cells]
+        assert np.all(levels >= 0)
+        assert np.all(levels <= 10)
+
+    def test_allocate_rejects_zero(self):
+        with pytest.raises(KernelError):
+            allocate_octree(0)

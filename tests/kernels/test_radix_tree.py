@@ -1,0 +1,178 @@
+"""Tests for the Karras radix tree: reference vs. vectorized variants,
+plus structural invariants (property-based)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import KernelError
+from repro.kernels import (
+    allocate_tree,
+    build_radix_tree_cpu,
+    build_radix_tree_gpu,
+    build_radix_tree_reference,
+)
+
+
+def make_codes(n, seed=0):
+    """n distinct sorted 30-bit codes."""
+    rng = np.random.default_rng(seed)
+    codes = rng.choice(1 << 30, size=n, replace=False).astype(np.uint32)
+    return np.sort(codes)
+
+
+distinct_sorted_codes = (
+    st.sets(st.integers(min_value=0, max_value=(1 << 30) - 1),
+            min_size=2, max_size=64)
+    .map(lambda s: np.asarray(sorted(s), dtype=np.uint32))
+)
+
+
+def tree_fields(tree):
+    return (
+        tree.left, tree.right, tree.left_is_leaf, tree.right_is_leaf,
+        tree.parent, tree.leaf_parent, tree.delta_node,
+        tree.range_left, tree.range_right,
+    )
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize("n", [2, 3, 4, 7, 16, 33, 100, 257])
+    def test_cpu_matches_reference(self, n):
+        codes = make_codes(n, seed=n)
+        expected = build_radix_tree_reference(codes)
+        tree = allocate_tree(n)
+        build_radix_tree_cpu(codes, tree)
+        for got, want in zip(tree_fields(tree), tree_fields(expected)):
+            np.testing.assert_array_equal(got, want)
+
+    @pytest.mark.parametrize("n", [2, 5, 50, 300])
+    def test_gpu_matches_reference(self, n):
+        codes = make_codes(n, seed=1000 + n)
+        expected = build_radix_tree_reference(codes)
+        tree = allocate_tree(n)
+        build_radix_tree_gpu(codes, tree)
+        for got, want in zip(tree_fields(tree), tree_fields(expected)):
+            np.testing.assert_array_equal(got, want)
+
+    @settings(max_examples=60, deadline=None)
+    @given(distinct_sorted_codes)
+    def test_property_vectorized_matches_reference(self, codes):
+        expected = build_radix_tree_reference(codes)
+        tree = allocate_tree(len(codes))
+        build_radix_tree_cpu(codes, tree)
+        for got, want in zip(tree_fields(tree), tree_fields(expected)):
+            np.testing.assert_array_equal(got, want)
+
+
+class TestStructuralInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(distinct_sorted_codes)
+    def test_every_leaf_has_exactly_one_parent(self, codes):
+        tree = allocate_tree(len(codes))
+        build_radix_tree_cpu(codes, tree)
+        assert np.all(tree.leaf_parent >= 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(distinct_sorted_codes)
+    def test_single_root_and_connected(self, codes):
+        tree = allocate_tree(len(codes))
+        build_radix_tree_cpu(codes, tree)
+        roots = np.nonzero(tree.parent < 0)[0]
+        assert list(roots) == [0]
+        # Walking up from any internal node reaches the root.
+        for i in range(tree.num_internal):
+            node, hops = i, 0
+            while tree.parent[node] >= 0:
+                node = tree.parent[node]
+                hops += 1
+                assert hops <= tree.num_internal
+            assert node == 0
+
+    @settings(max_examples=40, deadline=None)
+    @given(distinct_sorted_codes)
+    def test_children_partition_key_range(self, codes):
+        """Node i covers [range_left, range_right] and its children split
+        that range at gamma."""
+        tree = allocate_tree(len(codes))
+        build_radix_tree_cpu(codes, tree)
+        for i in range(tree.num_internal):
+            left, right = tree.range_left[i], tree.range_right[i]
+            gamma = tree.left[i]
+            assert left <= gamma < right
+            if not tree.left_is_leaf[i]:
+                child = tree.left[i]
+                assert tree.range_left[child] == left
+                assert tree.range_right[child] == gamma
+            if not tree.right_is_leaf[i]:
+                child = tree.right[i]
+                assert tree.range_left[child] == gamma + 1
+                assert tree.range_right[child] == right
+
+    @settings(max_examples=40, deadline=None)
+    @given(distinct_sorted_codes)
+    def test_delta_monotone_down_the_tree(self, codes):
+        """A child's common prefix is at least as long as its parent's."""
+        tree = allocate_tree(len(codes))
+        build_radix_tree_cpu(codes, tree)
+        for i in range(tree.num_internal):
+            parent = tree.parent[i]
+            if parent >= 0:
+                assert tree.delta_node[i] >= tree.delta_node[parent]
+
+    @settings(max_examples=40, deadline=None)
+    @given(distinct_sorted_codes)
+    def test_root_covers_everything(self, codes):
+        tree = allocate_tree(len(codes))
+        build_radix_tree_cpu(codes, tree)
+        assert tree.range_left[0] == 0
+        assert tree.range_right[0] == len(codes) - 1
+
+    def test_internal_node_count(self):
+        codes = make_codes(17, seed=9)
+        tree = allocate_tree(17)
+        build_radix_tree_cpu(codes, tree)
+        assert tree.num_internal == 16
+        assert tree.num_leaves == 17
+
+
+class TestEdgeCases:
+    def test_single_leaf(self):
+        tree = allocate_tree(1)
+        build_radix_tree_cpu(np.array([5], dtype=np.uint32), tree)
+        assert tree.num_internal == 0
+
+    def test_two_leaves(self):
+        codes = np.array([1, 2], dtype=np.uint32)
+        tree = allocate_tree(2)
+        build_radix_tree_cpu(codes, tree)
+        assert tree.left_is_leaf[0] and tree.right_is_leaf[0]
+        assert tree.left[0] == 0 and tree.right[0] == 1
+
+    def test_rejects_unsorted(self):
+        tree = allocate_tree(3)
+        with pytest.raises(KernelError):
+            build_radix_tree_cpu(np.array([3, 1, 2], dtype=np.uint32), tree)
+
+    def test_rejects_duplicates(self):
+        tree = allocate_tree(3)
+        with pytest.raises(KernelError):
+            build_radix_tree_cpu(np.array([1, 1, 2], dtype=np.uint32), tree)
+
+    def test_rejects_size_mismatch(self):
+        tree = allocate_tree(4)
+        with pytest.raises(KernelError):
+            build_radix_tree_cpu(np.array([1, 2, 3], dtype=np.uint32), tree)
+
+    def test_rejects_empty(self):
+        with pytest.raises(KernelError):
+            allocate_tree(0)
+
+    def test_adjacent_codes(self):
+        """Codes differing only in the lowest bit."""
+        codes = np.arange(8, dtype=np.uint32)
+        tree = allocate_tree(8)
+        build_radix_tree_cpu(codes, tree)
+        expected = build_radix_tree_reference(codes)
+        np.testing.assert_array_equal(tree.delta_node, expected.delta_node)

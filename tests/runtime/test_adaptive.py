@@ -1,0 +1,106 @@
+"""Tests for the adaptive (drift-reacting) deployment controller."""
+
+import pytest
+
+from repro.apps import build_octree_application
+from repro.core.optimizer import BTOptimizer
+from repro.core.profiler import BTProfiler
+from repro.errors import PipelineError, SchedulingError
+from repro.runtime import AdaptivePipeline
+from repro.soc import get_platform
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_octree_application(n_points=20_000)
+
+
+@pytest.fixture(scope="module")
+def jetson_candidates(app):
+    platform = get_platform("jetson_orin_nano")
+    table = BTProfiler(platform, repetitions=3).profile(app)
+    return BTOptimizer(
+        app, table.restricted(platform.schedulable_classes()), k=6
+    ).optimize().candidates
+
+
+def make_pipeline(app, candidates, platform_name="jetson_orin_nano",
+                  **kwargs):
+    kwargs.setdefault("eval_tasks", 8)
+    kwargs.setdefault("window_tasks", 10)
+    return AdaptivePipeline(
+        application=app,
+        platform=get_platform(platform_name),
+        candidates=candidates,
+        **kwargs,
+    )
+
+
+class TestSteadyState:
+    def test_stable_conditions_never_retune(self, app, jetson_candidates):
+        pipeline = make_pipeline(app, jetson_candidates)
+        records = pipeline.run_windows(4)
+        assert all(not record.retuned for record in records)
+        assert len({r.schedule.assignments for r in records}) == 1
+
+    def test_history_accumulates(self, app, jetson_candidates):
+        pipeline = make_pipeline(app, jetson_candidates)
+        pipeline.run_windows(3)
+        assert [r.window_index for r in pipeline.history] == [0, 1, 2]
+
+
+class TestDriftReaction:
+    def test_power_mode_flip_triggers_retune(self, app, jetson_candidates):
+        pipeline = make_pipeline(app, jetson_candidates)
+        pipeline.run_window()
+        # Conditions change: drop to the 7 W mode (everything slower).
+        pipeline.set_platform(get_platform("jetson_orin_nano_lp"))
+        drifted = pipeline.run_window()  # measured on LP, drift recorded
+        reaction = pipeline.run_window()
+        assert not drifted.retuned
+        assert reaction.retuned
+        assert reaction.platform == "jetson_orin_nano_lp"
+
+    def test_after_retune_reference_resets(self, app, jetson_candidates):
+        pipeline = make_pipeline(app, jetson_candidates)
+        pipeline.run_window()
+        pipeline.set_platform(get_platform("jetson_orin_nano_lp"))
+        pipeline.run_window()
+        pipeline.run_window()  # retunes
+        steady = pipeline.run_windows(2)
+        assert all(not record.retuned for record in steady)
+
+    def test_huge_threshold_never_reacts(self, app, jetson_candidates):
+        pipeline = make_pipeline(app, jetson_candidates,
+                                 drift_threshold=100.0)
+        pipeline.run_window()
+        pipeline.set_platform(get_platform("jetson_orin_nano_lp"))
+        records = pipeline.run_windows(3)
+        assert all(not record.retuned for record in records)
+
+
+class TestValidation:
+    def test_needs_candidates(self, app):
+        with pytest.raises(SchedulingError):
+            AdaptivePipeline(
+                application=app,
+                platform=get_platform("jetson_orin_nano"),
+                candidates=[],
+            )
+
+    def test_rejects_platform_without_usable_candidates(
+        self, app, jetson_candidates
+    ):
+        gpu_using = [
+            c for c in jetson_candidates
+            if "gpu" in c.schedule.pu_classes_used
+        ]
+        assert gpu_using  # precondition
+        pipeline = make_pipeline(app, gpu_using)
+        # The CPU-only Pi cannot host any GPU-using candidate.
+        with pytest.raises(SchedulingError):
+            pipeline.set_platform(get_platform("raspberry_pi5"))
+
+    def test_rejects_tiny_window(self, app, jetson_candidates):
+        with pytest.raises(PipelineError):
+            make_pipeline(app, jetson_candidates, window_tasks=1)

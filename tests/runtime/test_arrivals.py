@@ -1,0 +1,84 @@
+"""Tests for the DES arrival process (sensor-rate analysis)."""
+
+import pytest
+
+from repro.apps import build_octree_application
+from repro.core import Chunk
+from repro.errors import PipelineError
+from repro.runtime import SimulatedPipelineExecutor
+from repro.soc import get_platform
+from repro.soc.pu import BIG, GPU
+
+
+@pytest.fixture(scope="module")
+def executor():
+    platform = get_platform("jetson_orin_nano")
+    app = build_octree_application(n_points=20_000)
+    return SimulatedPipelineExecutor(
+        app, [Chunk(0, 4, GPU), Chunk(4, 7, BIG)], platform
+    )
+
+
+class TestArrivalProcess:
+    def test_default_is_backlogged(self, executor):
+        result = executor.run(10)
+        assert result.arrival_times_s == [0.0] * 10
+
+    def test_arrivals_spaced_by_period(self, executor):
+        result = executor.run(10, arrival_period_s=0.005)
+        assert result.arrival_times_s == pytest.approx(
+            [0.005 * t for t in range(10)]
+        )
+
+    def test_completion_never_before_arrival(self, executor):
+        result = executor.run(12, arrival_period_s=0.002)
+        for completion, arrival in zip(result.completion_times_s,
+                                       result.arrival_times_s):
+            assert completion > arrival
+
+    def test_slow_arrivals_give_flat_single_task_latency(self, executor):
+        """Well below saturation, every task sees an empty pipeline:
+        end-to-end latency equals the single-task latency."""
+        single = executor.run(1).completion_times_s[0]
+        result = executor.run(10, arrival_period_s=single * 5)
+        latencies = result.end_to_end_latencies_s()
+        for latency in latencies:
+            assert latency == pytest.approx(single, rel=0.05)
+        assert result.keeps_up_with_arrivals()
+
+    def test_overdriven_arrivals_build_backlog(self, executor):
+        steady = executor.run(20).steady_interval_s
+        result = executor.run(20, arrival_period_s=steady * 0.5)
+        latencies = result.end_to_end_latencies_s()
+        # Tail grows: the queue diverges.
+        assert latencies[-1] > 2 * latencies[0]
+        assert not result.keeps_up_with_arrivals()
+
+    def test_at_rate_arrivals_keep_up(self, executor):
+        steady = executor.run(20).steady_interval_s
+        result = executor.run(20, arrival_period_s=steady * 1.3)
+        assert result.keeps_up_with_arrivals()
+
+    def test_throughput_limited_by_arrivals_when_slow(self, executor):
+        period = 0.01
+        result = executor.run(10, arrival_period_s=period)
+        # Completions track arrivals, one per period.
+        gaps = [
+            b - a for a, b in zip(result.completion_times_s,
+                                  result.completion_times_s[1:])
+        ]
+        for gap in gaps:
+            assert gap == pytest.approx(period, rel=0.1)
+
+    def test_negative_period_rejected(self, executor):
+        with pytest.raises(PipelineError):
+            executor.run(5, arrival_period_s=-1.0)
+
+    def test_zero_period_equals_backlog(self, executor):
+        backlog = executor.run(8)
+        zero = executor.run(8, arrival_period_s=0.0)
+        assert backlog.completion_times_s == zero.completion_times_s
+
+    def test_keeps_up_trivially_with_few_tasks(self, executor):
+        result = executor.run(2, arrival_period_s=1e-6)
+        assert result.keeps_up_with_arrivals()

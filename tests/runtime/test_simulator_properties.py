@@ -1,0 +1,110 @@
+"""Property-based invariants of the discrete-event pipeline simulator.
+
+For arbitrary valid chunkings of the octree pipeline over the Pixel's
+PUs, structural invariants of pipelined execution must hold: tasks
+complete in order, each task visits chunks downstream-monotonically,
+busy time never exceeds wall time, and throughput never beats the
+bottleneck chunk's best case.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import build_octree_application
+from repro.core import Chunk
+from repro.runtime import SimulatedPipelineExecutor
+from repro.soc import get_platform
+
+PLATFORM = get_platform("pixel7a")
+APP = build_octree_application(n_points=5_000)
+PUS = list(PLATFORM.schedulable_classes())
+
+
+@st.composite
+def chunkings(draw):
+    """A random contiguous cover of the 7 stages with distinct PUs."""
+    n = APP.num_stages
+    k = draw(st.integers(min_value=1, max_value=min(4, len(PUS))))
+    # k-1 split points among the n-1 boundaries.
+    splits = sorted(draw(st.lists(
+        st.integers(min_value=1, max_value=n - 1),
+        min_size=k - 1, max_size=k - 1, unique=True,
+    )))
+    bounds = [0] + splits + [n]
+    order = draw(st.permutations(PUS))
+    return [
+        Chunk(bounds[i], bounds[i + 1], order[i]) for i in range(k)
+    ]
+
+
+class TestSimulatorInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(chunkings(), st.integers(min_value=1, max_value=10))
+    def test_completions_strictly_increase(self, chunks, n_tasks):
+        result = SimulatedPipelineExecutor(APP, chunks, PLATFORM).run(
+            n_tasks
+        )
+        times = result.completion_times_s
+        assert len(times) == n_tasks
+        assert all(a < b for a, b in zip(times, times[1:]))
+
+    @settings(max_examples=25, deadline=None)
+    @given(chunkings())
+    def test_task_flow_is_downstream_monotone(self, chunks):
+        result = SimulatedPipelineExecutor(APP, chunks, PLATFORM).run(
+            5, record_trace=True
+        )
+        by_key = {(s.chunk_index, s.task_id): s for s in result.spans}
+        for task in range(5):
+            for index in range(len(chunks) - 1):
+                upstream = by_key[(index, task)]
+                downstream = by_key[(index + 1, task)]
+                assert upstream.end_s <= downstream.start_s + 1e-12
+
+    @settings(max_examples=25, deadline=None)
+    @given(chunkings())
+    def test_busy_time_bounded_by_wall_time(self, chunks):
+        result = SimulatedPipelineExecutor(APP, chunks, PLATFORM).run(8)
+        for index in range(len(chunks)):
+            assert result.chunk_busy_s[index] <= result.total_s + 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(chunkings())
+    def test_steady_interval_at_least_best_case_bottleneck(self, chunks):
+        """No schedule can run faster than its bottleneck chunk under
+        the *most favourable* interference conditions."""
+        result = SimulatedPipelineExecutor(APP, chunks, PLATFORM).run(12)
+        best_case = 0.0
+        for chunk in chunks:
+            chunk_isolated = sum(
+                PLATFORM.isolated_time(APP.stages[i].work, chunk.pu_class)
+                for i in chunk.stage_indices
+            )
+            # Most favourable multiplier: full DVFS boost, no contention.
+            best_speed = max(
+                PLATFORM.interference.compute_speed(chunk.pu_class, load)
+                for load in (0.0, 1.0)
+            )
+            best_case = max(best_case, chunk_isolated / best_speed)
+        assert result.steady_interval_s >= best_case * 0.9
+
+    @settings(max_examples=20, deadline=None)
+    @given(chunkings())
+    def test_single_task_latency_at_least_sum_of_chunks(self, chunks):
+        """The first task sees no overlap: its completion time is at
+        least the sum of best-case (fully boosted, zero-contention)
+        chunk times."""
+        result = SimulatedPipelineExecutor(APP, chunks, PLATFORM).run(1)
+        floor = 0.0
+        for chunk in chunks:
+            isolated = sum(
+                PLATFORM.isolated_time(APP.stages[i].work, chunk.pu_class)
+                for i in chunk.stage_indices
+            )
+            best_speed = max(
+                PLATFORM.interference.compute_speed(chunk.pu_class, load)
+                for load in (0.0, 1.0)
+            )
+            floor += isolated / best_speed
+        assert result.completion_times_s[0] >= floor * 0.9

@@ -1,0 +1,209 @@
+"""Tests for the SPSC queue, UsmBuffer and TaskObject."""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro.errors import PipelineError, QueueClosedError
+from repro.runtime import SpscQueue, TaskObject, UsmBuffer
+
+
+class TestSpscQueue:
+    def test_fifo_order(self):
+        q = SpscQueue(capacity=4)
+        for i in range(4):
+            q.push(i)
+        assert [q.pop() for _ in range(4)] == [0, 1, 2, 3]
+
+    def test_len_tracks_occupancy(self):
+        q = SpscQueue(capacity=3)
+        assert len(q) == 0
+        q.push("a")
+        q.push("b")
+        assert len(q) == 2
+        q.pop()
+        assert len(q) == 1
+
+    def test_try_push_full(self):
+        q = SpscQueue(capacity=1)
+        assert q.try_push(1)
+        assert not q.try_push(2)
+
+    def test_try_pop_empty(self):
+        q = SpscQueue(capacity=1)
+        with pytest.raises(IndexError):
+            q.try_pop()
+
+    def test_push_timeout(self):
+        q = SpscQueue(capacity=1)
+        q.push(1)
+        with pytest.raises(TimeoutError):
+            q.push(2, timeout=0.05)
+
+    def test_pop_timeout(self):
+        q = SpscQueue(capacity=1)
+        with pytest.raises(TimeoutError):
+            q.pop(timeout=0.05)
+
+    def test_closed_push_raises(self):
+        q = SpscQueue(capacity=1)
+        q.close()
+        with pytest.raises(QueueClosedError):
+            q.push(1)
+
+    def test_closed_queue_drains_then_raises(self):
+        q = SpscQueue(capacity=2)
+        q.push("x")
+        q.close()
+        assert q.pop() == "x"
+        with pytest.raises(QueueClosedError):
+            q.pop()
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError):
+            SpscQueue(capacity=0)
+
+    def test_threaded_producer_consumer(self):
+        q = SpscQueue(capacity=8)
+        n = 2000
+        received = []
+
+        def producer():
+            for i in range(n):
+                q.push(i)
+
+        def consumer():
+            for _ in range(n):
+                received.append(q.pop())
+
+        threads = [threading.Thread(target=producer),
+                   threading.Thread(target=consumer)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert received == list(range(n))
+
+    def test_blocked_consumer_wakes_on_close(self):
+        q = SpscQueue(capacity=1)
+        outcome = []
+
+        def consumer():
+            try:
+                q.pop(timeout=5)
+            except QueueClosedError:
+                outcome.append("closed")
+
+        t = threading.Thread(target=consumer)
+        t.start()
+        q.close()
+        t.join(timeout=5)
+        assert outcome == ["closed"]
+
+
+class TestUsmBuffer:
+    def test_host_and_device_share_storage(self):
+        buf = UsmBuffer("b", (4,), np.float32)
+        buf.host_view()[0] = 7.0
+        assert buf.device_view()[0] == 7.0
+
+    def test_device_only_scope(self):
+        buf = UsmBuffer("scratch", (4,), np.int32, scope="device")
+        buf.device_view()
+        with pytest.raises(PipelineError):
+            buf.host_view()
+
+    def test_host_only_scope(self):
+        buf = UsmBuffer("host", (4,), np.int32, scope="host")
+        buf.host_view()
+        with pytest.raises(PipelineError):
+            buf.device_view()
+
+    def test_bad_scope(self):
+        with pytest.raises(PipelineError):
+            UsmBuffer("b", (1,), np.int32, scope="vram")
+
+    def test_attach_log(self):
+        buf = UsmBuffer("b", (1,), np.int32)
+        buf.attach_async("gpu")
+        buf.attach_async("big")
+        assert buf.attach_log == ("gpu", "big")
+
+    def test_view_for_pu(self):
+        buf = UsmBuffer("b", (2,), np.float32)
+        assert buf.view_for("gpu") is buf.device_view()
+        assert buf.view_for("big") is buf.host_view()
+
+    def test_fill_and_zero(self):
+        buf = UsmBuffer("b", (3,), np.float32)
+        buf.fill(2.5)
+        assert np.all(buf.host_view() == 2.5)
+        buf.zero()
+        assert np.all(buf.host_view() == 0.0)
+
+    def test_nbytes(self):
+        assert UsmBuffer("b", (4,), np.float64).nbytes == 32
+
+
+class TestTaskObject:
+    def test_allocate_and_index(self):
+        task = TaskObject(0)
+        task.allocate("codes", (8,), np.uint32)
+        task["codes"][:] = 3
+        assert np.all(task["codes"] == 3)
+
+    def test_duplicate_allocation_rejected(self):
+        task = TaskObject(0)
+        task.allocate("x", (1,), np.int64)
+        with pytest.raises(PipelineError):
+            task.allocate("x", (1,), np.int64)
+
+    def test_setitem_copies_into_existing_buffer(self):
+        task = TaskObject(0)
+        task.allocate("x", (3,), np.float32)
+        original = task.buffer("x").host_view()
+        task["x"] = np.array([1, 2, 3], dtype=np.float32)
+        assert task.buffer("x").host_view() is original
+        assert np.all(original == [1, 2, 3])
+
+    def test_setitem_adopts_new_buffer(self):
+        task = TaskObject(0)
+        task["fresh"] = np.arange(4)
+        assert "fresh" in task
+        assert len(task) == 1
+
+    def test_constants(self):
+        task = TaskObject(0)
+        task.set_constant("n", 128)
+        assert task.constant("n") == 128
+        with pytest.raises(PipelineError):
+            task.constant("missing")
+
+    def test_synchronize_records_attach_hints(self):
+        task = TaskObject(0)
+        task.allocate("a", (1,), np.int64)
+        task.allocate("b", (1,), np.int64)
+        task.synchronize_for("gpu")
+        assert task.buffer("a").attach_log == ("gpu",)
+        assert task.buffer("b").attach_log == ("gpu",)
+
+    def test_recycle_bumps_generation(self):
+        task = TaskObject(3)
+        assert task.sequence == 3
+        task.recycle(7)
+        assert task.sequence == 7
+        assert task.generation == 1
+
+    def test_total_bytes(self):
+        task = TaskObject(0)
+        task.allocate("a", (4,), np.float32)
+        task.allocate("b", (2,), np.float64)
+        assert task.total_bytes() == 32
+
+    def test_mapping_protocol(self):
+        task = TaskObject(0)
+        task.allocate("a", (1,), np.int64)
+        assert list(iter(task)) == ["a"]
+        del task["a"]
+        assert len(task) == 0

@@ -1,0 +1,122 @@
+"""Tests for execution traces and Gantt rendering."""
+
+import pytest
+
+from repro.apps import build_octree_application
+from repro.core import Chunk
+from repro.runtime import (
+    SimulatedPipelineExecutor,
+    Span,
+    format_gantt,
+    pipeline_bubbles,
+)
+from repro.soc import get_platform
+from repro.soc.pu import BIG, GPU, MEDIUM
+
+
+@pytest.fixture(scope="module")
+def traced_run():
+    platform = get_platform("pixel7a")
+    app = build_octree_application(n_points=20_000)
+    executor = SimulatedPipelineExecutor(
+        app,
+        [Chunk(0, 3, BIG), Chunk(3, 4, GPU), Chunk(4, 7, MEDIUM)],
+        platform,
+    )
+    return executor.run(6, record_trace=True)
+
+
+class TestSpanRecording:
+    def test_one_span_per_chunk_task(self, traced_run):
+        assert len(traced_run.spans) == 3 * 6
+
+    def test_spans_ordered_within_chunk(self, traced_run):
+        for chunk in range(3):
+            spans = sorted(
+                (s for s in traced_run.spans if s.chunk_index == chunk),
+                key=lambda s: s.task_id,
+            )
+            for a, b in zip(spans, spans[1:]):
+                assert a.end_s <= b.start_s + 1e-12
+
+    def test_task_flows_downstream_in_order(self, traced_run):
+        by_key = {
+            (s.chunk_index, s.task_id): s for s in traced_run.spans
+        }
+        for task in range(6):
+            for chunk in range(2):
+                assert (
+                    by_key[(chunk, task)].end_s
+                    <= by_key[(chunk + 1, task)].start_s + 1e-12
+                )
+
+    def test_durations_positive(self, traced_run):
+        assert all(s.duration_s > 0 for s in traced_run.spans)
+
+    def test_tracing_off_by_default(self):
+        platform = get_platform("pixel7a")
+        app = build_octree_application(n_points=20_000)
+        result = SimulatedPipelineExecutor(
+            app, [Chunk(0, 7, BIG)], platform
+        ).run(3)
+        assert result.spans == []
+
+    def test_tracing_does_not_change_timing(self):
+        platform = get_platform("pixel7a")
+        app = build_octree_application(n_points=20_000)
+        chunks = [Chunk(0, 4, BIG), Chunk(4, 7, GPU)]
+        plain = SimulatedPipelineExecutor(app, chunks, platform).run(8)
+        traced = SimulatedPipelineExecutor(app, chunks, platform).run(
+            8, record_trace=True
+        )
+        assert plain.completion_times_s == traced.completion_times_s
+
+
+class TestGantt:
+    def test_renders_all_chunks(self, traced_run):
+        text = format_gantt(traced_run.spans)
+        assert "chunk 0 big" in text
+        assert "chunk 1 gpu" in text
+        assert "chunk 2 medium" in text
+        assert "ms" in text
+
+    def test_empty_trace(self):
+        assert "empty" in format_gantt([])
+
+    def test_respects_width(self, traced_run):
+        text = format_gantt(traced_run.spans, width=40)
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert all(len(row) <= 60 for row in rows)
+
+    def test_handmade_spans(self):
+        spans = [
+            Span(0, "big", 0, 0.0, 1.0),
+            Span(0, "big", 1, 1.0, 2.0),
+            Span(1, "gpu", 0, 1.0, 2.0),
+        ]
+        text = format_gantt(spans, width=20)
+        assert text.count("|") == 4
+
+
+class TestBubbles:
+    def test_back_to_back_has_no_bubble(self):
+        spans = [
+            Span(0, "big", 0, 0.0, 1.0),
+            Span(0, "big", 1, 1.0, 2.0),
+        ]
+        assert pipeline_bubbles(spans)[0] == pytest.approx(0.0)
+
+    def test_gap_creates_bubble(self):
+        spans = [
+            Span(0, "big", 0, 0.0, 1.0),
+            Span(0, "big", 1, 3.0, 4.0),
+        ]
+        assert pipeline_bubbles(spans)[0] == pytest.approx(0.5)
+
+    def test_bottleneck_chunk_has_smallest_bubble(self, traced_run):
+        bubbles = pipeline_bubbles(traced_run.spans)
+        busiest = max(
+            traced_run.chunk_busy_s,
+            key=lambda i: traced_run.chunk_busy_s[i],
+        )
+        assert bubbles[busiest] <= min(bubbles.values()) + 0.15

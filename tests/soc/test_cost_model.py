@@ -1,0 +1,193 @@
+"""Tests for the roofline cost model: directional correctness.
+
+These tests check *relationships* (more work -> more time; divergence
+hurts GPUs more than big CPUs; etc.), not absolute values - mirroring the
+"shape, not absolute numbers" reproduction contract.
+"""
+
+import pytest
+
+from repro.soc import WorkProfile, cpu_cost, gpu_cost, pu_cost
+from repro.soc.pu import BIG, LITTLE, CpuCluster, Gpu
+
+
+@pytest.fixture
+def big_cluster():
+    return CpuCluster(
+        pu_class=BIG, model="Cortex-X1", cores=2, freq_ghz=2.85,
+        flops_per_cycle=16.0, irregularity_tolerance=0.85,
+        dispatch_overhead_s=30e-6, stream_bw_gbps=14.0, core_ids=(6, 7),
+    )
+
+
+@pytest.fixture
+def little_cluster():
+    return CpuCluster(
+        pu_class=LITTLE, model="Cortex-A55", cores=4, freq_ghz=1.8,
+        flops_per_cycle=4.0, irregularity_tolerance=0.35,
+        dispatch_overhead_s=45e-6, stream_bw_gbps=6.0,
+        core_ids=(0, 1, 2, 3),
+    )
+
+
+@pytest.fixture
+def gpu():
+    return Gpu(
+        model="Mali-G710", vendor="arm", api="vulkan",
+        compute_units=7, lanes_per_unit=48, freq_ghz=0.85,
+        flops_per_lane_cycle=2.0, divergence_penalty=6.0,
+        irregularity_penalty=5.0, launch_overhead_s=130e-6,
+        min_parallelism=8192.0, stream_bw_gbps=18.0,
+    )
+
+
+def work(**overrides):
+    base = dict(
+        flops=50e6, bytes_moved=5e6, parallelism=1e5, parallel_fraction=1.0
+    )
+    base.update(overrides)
+    return WorkProfile(**base)
+
+
+class TestCpuCost:
+    def test_more_flops_more_time(self, big_cluster):
+        t1 = cpu_cost(work(flops=10e6), big_cluster).total_s
+        t2 = cpu_cost(work(flops=100e6), big_cluster).total_s
+        assert t2 > t1
+
+    def test_compute_scales_inverse_with_cores(self, big_cluster):
+        one_core = CpuCluster(
+            pu_class=BIG, model="X1", cores=1, freq_ghz=2.85,
+            flops_per_cycle=16.0, irregularity_tolerance=0.85,
+            dispatch_overhead_s=30e-6, stream_bw_gbps=14.0, core_ids=(0,),
+        )
+        t2 = cpu_cost(work(), big_cluster).compute_s
+        t1 = cpu_cost(work(), one_core).compute_s
+        assert t1 == pytest.approx(2 * t2)
+
+    def test_serial_fraction_limits_speedup(self, big_cluster):
+        fully_parallel = cpu_cost(
+            work(parallel_fraction=1.0), big_cluster
+        ).compute_s
+        half_serial = cpu_cost(
+            work(parallel_fraction=0.5), big_cluster
+        ).compute_s
+        assert half_serial > fully_parallel
+
+    def test_limited_parallelism_caps_cores(self, big_cluster):
+        # parallelism=1 means a single core does all the work.
+        serial = cpu_cost(work(parallelism=1.0), big_cluster).compute_s
+        parallel = cpu_cost(work(parallelism=1e5), big_cluster).compute_s
+        assert serial == pytest.approx(big_cluster.cores * parallel)
+
+    def test_irregularity_hurts_little_more_than_big(
+        self, big_cluster, little_cluster
+    ):
+        regular, irregular = work(irregularity=0.0), work(irregularity=0.9)
+        big_ratio = (
+            cpu_cost(irregular, big_cluster).compute_s
+            / cpu_cost(regular, big_cluster).compute_s
+        )
+        little_ratio = (
+            cpu_cost(irregular, little_cluster).compute_s
+            / cpu_cost(regular, little_cluster).compute_s
+        )
+        assert little_ratio > big_ratio > 1.0
+
+    def test_memory_bound_kernel_limited_by_bandwidth(self, big_cluster):
+        streaming = work(flops=1e3, bytes_moved=140e6)
+        breakdown = cpu_cost(streaming, big_cluster)
+        assert breakdown.memory_s > breakdown.compute_s
+        # 140 MB over 14 GB/s = 10 ms
+        assert breakdown.memory_s == pytest.approx(0.010, rel=1e-6)
+
+    def test_overhead_included_in_total(self, big_cluster):
+        breakdown = cpu_cost(work(), big_cluster)
+        assert breakdown.total_s == pytest.approx(
+            max(breakdown.compute_s, breakdown.memory_s)
+            + big_cluster.dispatch_overhead_s
+        )
+
+
+class TestGpuCost:
+    def test_divergence_penalty(self, gpu):
+        uniform = gpu_cost(work(divergence=0.0), gpu).compute_s
+        divergent = gpu_cost(work(divergence=1.0), gpu).compute_s
+        assert divergent == pytest.approx(
+            uniform * (1 + gpu.divergence_penalty)
+        )
+
+    def test_low_parallelism_underutilizes(self, gpu):
+        wide = gpu_cost(work(parallelism=1e6), gpu).compute_s
+        narrow = gpu_cost(work(parallelism=1024.0), gpu).compute_s
+        assert narrow > wide
+
+    def test_launch_overhead_multiplies(self, gpu):
+        single = gpu_cost(work(gpu_launches=1), gpu)
+        multi = gpu_cost(work(gpu_launches=8), gpu)
+        assert multi.overhead_s == pytest.approx(8 * single.overhead_s)
+
+    def test_serial_work_is_catastrophic(self, gpu):
+        parallel = gpu_cost(work(parallel_fraction=1.0), gpu).compute_s
+        serial = gpu_cost(work(parallel_fraction=0.0), gpu).compute_s
+        # A single SIMT lane vs. the whole machine.
+        assert serial > 100 * parallel
+
+    def test_irregular_access_derates_bandwidth(self, gpu):
+        coalesced = gpu_cost(
+            work(flops=1e3, bytes_moved=100e6, irregularity=0.0), gpu
+        ).memory_s
+        scattered = gpu_cost(
+            work(flops=1e3, bytes_moved=100e6, irregularity=1.0), gpu
+        ).memory_s
+        assert scattered > 2 * coalesced
+
+
+class TestCrossPu:
+    def test_dense_parallel_work_prefers_gpu(self, big_cluster, gpu):
+        dense = work(flops=500e6, bytes_moved=10e6, parallelism=1e6)
+        assert gpu_cost(dense, gpu).total_s < cpu_cost(dense, big_cluster).total_s
+
+    def test_irregular_traversal_prefers_big_cpu(self, big_cluster, gpu):
+        traversal = work(
+            flops=5e6, bytes_moved=8e6, divergence=0.8, irregularity=0.9,
+            parallelism=5e4,
+        )
+        assert (
+            cpu_cost(traversal, big_cluster).total_s
+            < gpu_cost(traversal, gpu).total_s
+        )
+
+    def test_pu_cost_dispatches(self, big_cluster, gpu):
+        w = work()
+        assert pu_cost(w, big_cluster).total_s == cpu_cost(w, big_cluster).total_s
+        assert pu_cost(w, gpu).total_s == gpu_cost(w, gpu).total_s
+
+    def test_pu_cost_rejects_unknown_type(self):
+        with pytest.raises(TypeError):
+            pu_cost(work(), object())
+
+
+class TestBreakdownProperties:
+    def test_memory_boundedness_range(self, big_cluster):
+        breakdown = cpu_cost(work(), big_cluster)
+        assert 0.0 <= breakdown.memory_boundedness <= 1.0
+
+    def test_memory_boundedness_extremes(self, big_cluster):
+        compute_heavy = cpu_cost(
+            work(flops=1e9, bytes_moved=1e3), big_cluster
+        )
+        memory_heavy = cpu_cost(
+            work(flops=1e3, bytes_moved=1e9), big_cluster
+        )
+        assert compute_heavy.memory_boundedness < 0.1
+        assert memory_heavy.memory_boundedness > 0.9
+
+    def test_demand_bw_consistent(self, big_cluster):
+        w = work(bytes_moved=14e6)
+        breakdown = cpu_cost(w, big_cluster)
+        demand = breakdown.demand_bw_gbps(w.bytes_moved)
+        assert demand == pytest.approx(
+            w.bytes_moved / breakdown.total_s / 1e9
+        )
+        assert demand <= big_cluster.stream_bw_gbps * 1.01

@@ -1,0 +1,100 @@
+"""Tests for the energy-accounting extension."""
+
+import pytest
+
+from repro.apps import build_octree_application
+from repro.core import Chunk
+from repro.errors import PlatformError
+from repro.runtime import SimulatedPipelineExecutor
+from repro.soc import PowerSpec, estimate_energy, get_platform, power_table
+from repro.soc.pu import BIG, GPU
+
+
+@pytest.fixture(scope="module")
+def pixel():
+    return get_platform("pixel7a")
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_octree_application(n_points=20_000)
+
+
+def simulate(app, chunks, platform, n=15):
+    return SimulatedPipelineExecutor(app, chunks, platform).run(n)
+
+
+class TestPowerSpec:
+    def test_validates_ordering(self):
+        with pytest.raises(PlatformError):
+            PowerSpec(active_w=1.0, idle_w=2.0)
+        with pytest.raises(PlatformError):
+            PowerSpec(active_w=1.0, idle_w=-0.1)
+
+    def test_tables_exist_for_all_paper_platforms(self):
+        for name in ("pixel7a", "oneplus11", "jetson_orin_nano",
+                     "jetson_orin_nano_lp"):
+            table = power_table(name)
+            assert table  # non-empty
+
+    def test_unknown_platform_gets_defaults(self):
+        assert power_table("mystery-soc") == power_table("default")
+
+    def test_lp_mode_draws_less(self):
+        normal = power_table("jetson_orin_nano")
+        lp = power_table("jetson_orin_nano_lp")
+        assert lp[GPU].active_w < normal[GPU].active_w
+        assert lp[BIG].active_w < normal[BIG].active_w
+
+
+class TestEstimateEnergy:
+    def test_covers_all_platform_pus(self, app, pixel):
+        result = simulate(app, [Chunk(0, 7, BIG)], pixel)
+        report = estimate_energy(result, pixel)
+        assert set(report.per_pu_j) == set(pixel.pu_classes())
+        assert report.total_j == pytest.approx(
+            sum(report.per_pu_j.values())
+        )
+
+    def test_energy_positive_and_per_task_consistent(self, app, pixel):
+        result = simulate(app, [Chunk(0, 7, BIG)], pixel)
+        report = estimate_energy(result, pixel)
+        assert report.total_j > 0
+        assert report.per_task_j == pytest.approx(
+            report.total_j / result.n_tasks
+        )
+
+    def test_busy_pu_draws_more_than_idle(self, app, pixel):
+        result = simulate(app, [Chunk(0, 7, BIG)], pixel)
+        report = estimate_energy(result, pixel)
+        specs = power_table(pixel.name)
+        # The big cluster is ~fully busy; the medium cluster is idle.
+        big_avg_w = report.per_pu_j[BIG] / result.total_s
+        medium_avg_w = report.per_pu_j["medium"] / result.total_s
+        assert big_avg_w > specs[BIG].idle_w * 2
+        assert medium_avg_w == pytest.approx(specs["medium"].idle_w)
+
+    def test_energy_latency_tradeoff_visible(self, app, pixel):
+        """A faster 4-PU pipeline can cost more joules per second but
+        finishes sooner - the report exposes the tradeoff rather than
+        collapsing it."""
+        serial = simulate(app, [Chunk(0, 7, BIG)], pixel)
+        split = simulate(
+            app,
+            [Chunk(0, 2, BIG), Chunk(2, 4, GPU), Chunk(4, 6, "medium"),
+             Chunk(6, 7, "little")],
+            pixel,
+        )
+        e_serial = estimate_energy(serial, pixel)
+        e_split = estimate_energy(split, pixel)
+        # Split run draws more average power...
+        assert (e_split.total_j / split.total_s
+                > e_serial.total_j / serial.total_s)
+        # ...but the run is much shorter.
+        assert split.total_s < serial.total_s
+
+    def test_cpu_only_platform(self, app):
+        pi = get_platform("raspberry_pi5")
+        result = simulate(app, [Chunk(0, 7, BIG)], pi)
+        report = estimate_energy(result, pi)
+        assert set(report.per_pu_j) == {BIG}

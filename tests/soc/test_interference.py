@@ -1,0 +1,130 @@
+"""Tests for the interference model (DVFS curves + bandwidth contention)."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.soc import DvfsCurve, InterferenceModel, co_load_fraction
+from repro.soc.pu import BIG, GPU, LITTLE
+
+
+@pytest.fixture
+def model():
+    return InterferenceModel(
+        dram_bw_gbps=30.0,
+        dvfs={
+            BIG: DvfsCurve(speed_at_full_load=0.74),
+            LITTLE: DvfsCurve(speed_at_full_load=1.6),
+            GPU: DvfsCurve(speed_at_full_load=1.45),
+        },
+    )
+
+
+class TestDvfsCurve:
+    def test_isolated_is_unit_speed(self):
+        assert DvfsCurve(0.7).speed(0.0) == pytest.approx(1.0)
+
+    def test_full_load_hits_endpoint(self):
+        assert DvfsCurve(0.7).speed(1.0) == pytest.approx(0.7)
+
+    def test_interpolates_linearly(self):
+        assert DvfsCurve(0.6).speed(0.5) == pytest.approx(0.8)
+
+    def test_boost_curve(self):
+        assert DvfsCurve(1.6).speed(1.0) == pytest.approx(1.6)
+
+    def test_rejects_bad_co_load(self):
+        with pytest.raises(PlatformError):
+            DvfsCurve(0.7).speed(1.5)
+
+
+class TestBandwidthSharing:
+    def test_undersubscribed_full_bandwidth(self, model):
+        assert model.bandwidth_factor(10.0, 25.0) == pytest.approx(1.0)
+
+    def test_oversubscribed_proportional(self, model):
+        # Total demand 60 against 30 GB/s -> everyone gets half.
+        assert model.bandwidth_factor(20.0, 60.0) == pytest.approx(0.5)
+
+    def test_zero_demand_unaffected(self, model):
+        assert model.bandwidth_factor(0.0, 100.0) == pytest.approx(1.0)
+
+    def test_rejects_nonpositive_dram_bw(self):
+        with pytest.raises(PlatformError):
+            InterferenceModel(dram_bw_gbps=0.0)
+
+
+class TestSpeedMultiplier:
+    def test_isolated_compute_bound_is_unit(self, model):
+        m = model.speed_multiplier(
+            BIG, memory_boundedness=0.0, demand_gbps=1.0,
+            total_demand_gbps=1.0, co_load=0.0,
+        )
+        assert m == pytest.approx(1.0)
+
+    def test_compute_bound_tracks_dvfs(self, model):
+        m = model.speed_multiplier(
+            BIG, memory_boundedness=0.0, demand_gbps=1.0,
+            total_demand_gbps=1.0, co_load=1.0,
+        )
+        assert m == pytest.approx(0.74)
+
+    def test_memory_bound_tracks_bandwidth_share(self, model):
+        m = model.speed_multiplier(
+            BIG, memory_boundedness=1.0, demand_gbps=20.0,
+            total_demand_gbps=60.0, co_load=1.0,
+        )
+        assert m == pytest.approx(0.5)
+
+    def test_mixed_harmonic_combination(self, model):
+        m = model.speed_multiplier(
+            BIG, memory_boundedness=0.5, demand_gbps=20.0,
+            total_demand_gbps=60.0, co_load=1.0,
+        )
+        expected = 1.0 / (0.5 / 0.74 + 0.5 / 0.5)
+        assert m == pytest.approx(expected)
+
+    def test_boosted_pu_speeds_up_under_load(self, model):
+        m = model.speed_multiplier(
+            GPU, memory_boundedness=0.0, demand_gbps=1.0,
+            total_demand_gbps=1.0, co_load=1.0,
+        )
+        assert m == pytest.approx(1.45)
+
+    def test_boost_fights_contention(self, model):
+        # A boosted GPU that is memory-bound can still end up slower.
+        m = model.speed_multiplier(
+            GPU, memory_boundedness=0.9, demand_gbps=20.0,
+            total_demand_gbps=90.0, co_load=1.0,
+        )
+        assert m < 1.0
+
+    def test_unknown_class_defaults_to_no_dvfs(self, model):
+        m = model.speed_multiplier(
+            "npu", memory_boundedness=0.0, demand_gbps=0.0,
+            total_demand_gbps=0.0, co_load=1.0,
+        )
+        assert m == pytest.approx(1.0)
+
+    def test_rejects_bad_memory_boundedness(self, model):
+        with pytest.raises(PlatformError):
+            model.speed_multiplier(BIG, 1.5, 1.0, 1.0, 0.0)
+
+
+class TestCoLoadFraction:
+    def test_isolated(self):
+        assert co_load_fraction(0, 3) == 0.0
+
+    def test_interference_heavy(self):
+        assert co_load_fraction(3, 3) == 1.0
+
+    def test_partial(self):
+        assert co_load_fraction(1, 4) == pytest.approx(0.25)
+
+    def test_no_other_pus(self):
+        assert co_load_fraction(0, 0) == 0.0
+
+    def test_rejects_out_of_range(self):
+        with pytest.raises(PlatformError):
+            co_load_fraction(4, 3)
+        with pytest.raises(PlatformError):
+            co_load_fraction(-1, 3)

@@ -1,0 +1,102 @@
+"""Property-based invariants of the interference model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.soc import DvfsCurve, InterferenceModel
+from repro.soc.pu import BIG, GPU
+
+loads = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+betas = st.floats(min_value=0.0, max_value=1.0, allow_nan=False)
+demands = st.floats(min_value=0.0, max_value=100.0, allow_nan=False)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return InterferenceModel(
+        dram_bw_gbps=30.0,
+        dvfs={
+            BIG: DvfsCurve(speed_at_full_load=0.7),
+            GPU: DvfsCurve(speed_at_full_load=1.5),
+        },
+    )
+
+
+class TestMonotonicity:
+    @settings(max_examples=60, deadline=None)
+    @given(load_a=loads, load_b=loads)
+    def test_throttled_class_slows_monotonically_with_load(
+        self, model, load_a, load_b
+    ):
+        lo, hi = sorted((load_a, load_b))
+        assert model.compute_speed(BIG, hi) <= model.compute_speed(
+            BIG, lo
+        ) + 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(load_a=loads, load_b=loads)
+    def test_boosted_class_speeds_monotonically_with_load(
+        self, model, load_a, load_b
+    ):
+        lo, hi = sorted((load_a, load_b))
+        assert model.compute_speed(GPU, hi) >= model.compute_speed(
+            GPU, lo
+        ) - 1e-12
+
+    @settings(max_examples=60, deadline=None)
+    @given(demand=demands, extra_a=demands, extra_b=demands)
+    def test_more_contention_never_grants_more_bandwidth(
+        self, model, demand, extra_a, extra_b
+    ):
+        lo, hi = sorted((extra_a, extra_b))
+        factor_lo = model.bandwidth_factor(demand, demand + lo)
+        factor_hi = model.bandwidth_factor(demand, demand + hi)
+        assert factor_hi <= factor_lo + 1e-12
+
+
+class TestBounds:
+    @settings(max_examples=80, deadline=None)
+    @given(beta=betas, load=loads, demand=demands, extra=demands)
+    def test_multiplier_bounded_by_components(self, model, beta, load,
+                                              demand, extra):
+        multiplier = model.speed_multiplier(
+            BIG, memory_boundedness=beta, demand_gbps=demand,
+            total_demand_gbps=demand + extra, co_load=load,
+        )
+        compute = model.compute_speed(BIG, load)
+        bandwidth = model.bandwidth_factor(demand, demand + extra)
+        assert min(compute, bandwidth) - 1e-9 <= multiplier
+        assert multiplier <= max(compute, bandwidth) + 1e-9
+
+    @settings(max_examples=80, deadline=None)
+    @given(load=loads, demand=demands, extra=demands)
+    def test_pure_compute_ignores_bandwidth(self, model, load, demand,
+                                            extra):
+        multiplier = model.speed_multiplier(
+            BIG, memory_boundedness=0.0, demand_gbps=demand,
+            total_demand_gbps=demand + extra, co_load=load,
+        )
+        assert multiplier == pytest.approx(
+            model.compute_speed(BIG, load)
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(load=loads, demand=demands, extra=demands)
+    def test_pure_memory_ignores_dvfs(self, model, load, demand, extra):
+        multiplier = model.speed_multiplier(
+            BIG, memory_boundedness=1.0, demand_gbps=demand,
+            total_demand_gbps=demand + extra, co_load=load,
+        )
+        assert multiplier == pytest.approx(
+            model.bandwidth_factor(demand, demand + extra)
+        )
+
+    @settings(max_examples=80, deadline=None)
+    @given(beta=betas, load=loads, demand=demands, extra=demands)
+    def test_multiplier_positive(self, model, beta, load, demand, extra):
+        multiplier = model.speed_multiplier(
+            GPU, memory_boundedness=beta, demand_gbps=demand,
+            total_demand_gbps=demand + extra, co_load=load,
+        )
+        assert multiplier > 0.0

@@ -1,0 +1,134 @@
+"""Tests for virtual timers, measurement noise, and affinity maps."""
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.soc import (
+    AffinityEntry,
+    AffinityMap,
+    MeasurementNoise,
+    VirtualTimer,
+    mean_of_measurements,
+)
+from repro.soc.pu import BIG, GPU, LITTLE
+
+
+class TestVirtualTimer:
+    def test_starts_at_zero(self):
+        assert VirtualTimer().now_s == 0.0
+
+    def test_advance_accumulates(self):
+        timer = VirtualTimer()
+        timer.advance(0.5)
+        timer.advance(0.25)
+        assert timer.now_s == pytest.approx(0.75)
+
+    def test_ticks_scale(self):
+        timer = VirtualTimer()
+        timer.advance(1e-6)
+        assert timer.ticks == 1000
+
+    def test_advance_to(self):
+        timer = VirtualTimer()
+        timer.advance_to(2.0)
+        assert timer.now_s == 2.0
+
+    def test_cannot_rewind(self):
+        timer = VirtualTimer()
+        timer.advance(1.0)
+        with pytest.raises(PlatformError):
+            timer.advance_to(0.5)
+        with pytest.raises(PlatformError):
+            timer.advance(-0.1)
+
+    def test_rejects_non_finite(self):
+        with pytest.raises(PlatformError):
+            VirtualTimer().advance(float("inf"))
+
+
+class TestMeasurementNoise:
+    def test_zero_sigma_is_exact(self):
+        noise = MeasurementNoise(sigma=0.0, seed=1)
+        assert noise.perturb(3.0, noise.rng("k")) == 3.0
+
+    def test_same_key_same_stream(self):
+        noise = MeasurementNoise(sigma=0.05, seed=1)
+        a = [noise.perturb(1.0, noise.rng("k")) for _ in range(1)]
+        b = [noise.perturb(1.0, noise.rng("k")) for _ in range(1)]
+        assert a == b
+
+    def test_different_seed_different_stream(self):
+        n1 = MeasurementNoise(sigma=0.05, seed=1)
+        n2 = MeasurementNoise(sigma=0.05, seed=2)
+        assert n1.perturb(1.0, n1.rng("k")) != n2.perturb(1.0, n2.rng("k"))
+
+    def test_mean_one_property(self):
+        noise = MeasurementNoise(sigma=0.1, seed=3)
+        rng = noise.rng("stream")
+        samples = [noise.perturb(2.0, rng) for _ in range(2000)]
+        assert mean_of_measurements(samples) == pytest.approx(2.0, rel=0.02)
+
+    def test_rejects_negative_sigma(self):
+        with pytest.raises(PlatformError):
+            MeasurementNoise(sigma=-0.1)
+
+    def test_rejects_negative_duration(self):
+        noise = MeasurementNoise(sigma=0.1)
+        with pytest.raises(PlatformError):
+            noise.perturb(-1.0, noise.rng("k"))
+
+    def test_mean_of_zero_measurements_rejected(self):
+        with pytest.raises(PlatformError):
+            mean_of_measurements([])
+
+
+class TestAffinityMap:
+    def make_map(self, little_pinnable=True):
+        return AffinityMap(
+            {
+                BIG: AffinityEntry(core_ids=(6, 7)),
+                LITTLE: AffinityEntry(
+                    core_ids=(0, 1, 2, 3), pinnable=little_pinnable
+                ),
+            }
+        )
+
+    def test_core_ids(self):
+        amap = self.make_map()
+        assert amap.core_ids(BIG) == (6, 7)
+        assert amap.core_ids(GPU) == ()
+
+    def test_duplicate_core_ids_rejected(self):
+        with pytest.raises(PlatformError):
+            AffinityMap(
+                {
+                    BIG: AffinityEntry(core_ids=(0, 1)),
+                    LITTLE: AffinityEntry(core_ids=(1, 2)),
+                }
+            )
+
+    def test_schedulable_excludes_unpinnable(self):
+        amap = self.make_map(little_pinnable=False)
+        assert LITTLE not in amap.schedulable_classes()
+        assert BIG in amap.schedulable_classes()
+        assert GPU in amap.schedulable_classes()
+
+    def test_no_gpu_map(self):
+        amap = AffinityMap(
+            {BIG: AffinityEntry(core_ids=(0,))}, has_gpu=False
+        )
+        assert GPU not in amap.schedulable_classes()
+
+    def test_unknown_class(self):
+        with pytest.raises(PlatformError):
+            self.make_map().core_ids("npu")
+
+    def test_counts(self):
+        amap = self.make_map(little_pinnable=False)
+        assert amap.total_cores() == 6
+        assert amap.pinnable_cores() == 2
+
+    def test_describe(self):
+        text = self.make_map(little_pinnable=False).describe()
+        assert "NOT pinnable" in text
+        assert "gpu" in text

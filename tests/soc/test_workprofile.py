@@ -1,0 +1,99 @@
+"""Tests for WorkProfile validation and algebra."""
+
+import pytest
+
+from repro.errors import KernelError
+from repro.soc import WorkProfile
+
+
+def profile(**overrides):
+    base = dict(flops=1e6, bytes_moved=1e5, parallelism=1024.0)
+    base.update(overrides)
+    return WorkProfile(**base)
+
+
+class TestValidation:
+    def test_rejects_negative_flops(self):
+        with pytest.raises(KernelError):
+            profile(flops=-1.0)
+
+    def test_rejects_parallelism_below_one(self):
+        with pytest.raises(KernelError):
+            profile(parallelism=0.5)
+
+    @pytest.mark.parametrize(
+        "field", ["parallel_fraction", "divergence", "irregularity"]
+    )
+    def test_rejects_out_of_range_fractions(self, field):
+        with pytest.raises(KernelError):
+            profile(**{field: 1.5})
+        with pytest.raises(KernelError):
+            profile(**{field: -0.1})
+
+    def test_rejects_zero_efficiency(self):
+        with pytest.raises(KernelError):
+            profile(cpu_efficiency=0.0)
+
+    def test_rejects_zero_launches(self):
+        with pytest.raises(KernelError):
+            profile(gpu_launches=0)
+
+    def test_accepts_boundary_values(self):
+        p = profile(divergence=1.0, irregularity=0.0, parallel_fraction=1.0)
+        assert p.divergence == 1.0
+
+
+class TestScaled:
+    def test_scales_totals_not_structure(self):
+        p = profile(divergence=0.3)
+        doubled = p.scaled(2.0)
+        assert doubled.flops == pytest.approx(2 * p.flops)
+        assert doubled.bytes_moved == pytest.approx(2 * p.bytes_moved)
+        assert doubled.divergence == p.divergence
+
+    def test_scaling_keeps_parallelism_at_least_one(self):
+        p = profile(parallelism=2.0)
+        shrunk = p.scaled(0.01)
+        assert shrunk.parallelism >= 1.0
+
+    def test_rejects_nonpositive_factor(self):
+        with pytest.raises(KernelError):
+            profile().scaled(0.0)
+
+
+class TestCombined:
+    def test_totals_add(self):
+        a = profile(flops=1e6, bytes_moved=2e5, gpu_launches=2)
+        b = profile(flops=3e6, bytes_moved=1e5, gpu_launches=3)
+        c = a.combined(b)
+        assert c.flops == pytest.approx(4e6)
+        assert c.bytes_moved == pytest.approx(3e5)
+        assert c.gpu_launches == 5
+
+    def test_structure_is_flops_weighted(self):
+        a = profile(flops=3e6, divergence=0.0)
+        b = profile(flops=1e6, divergence=1.0)
+        c = a.combined(b)
+        assert c.divergence == pytest.approx(0.25)
+
+    def test_combining_zero_flops_profiles(self):
+        a = profile(flops=0.0)
+        b = profile(flops=0.0)
+        c = a.combined(b)
+        assert c.flops == 0.0
+
+
+class TestDerived:
+    def test_arithmetic_intensity(self):
+        p = profile(flops=4e6, bytes_moved=1e6)
+        assert p.arithmetic_intensity == pytest.approx(4.0)
+
+    def test_arithmetic_intensity_no_bytes(self):
+        p = profile(bytes_moved=0.0)
+        assert p.arithmetic_intensity == float("inf")
+
+    def test_as_dict_round_trip(self):
+        p = profile(divergence=0.2)
+        d = p.as_dict()
+        assert d["divergence"] == pytest.approx(0.2)
+        assert WorkProfile(**d).divergence == pytest.approx(0.2)

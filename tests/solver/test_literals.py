@@ -1,0 +1,38 @@
+"""Unit tests for boolean variables and literals."""
+
+import pytest
+
+from repro.solver import BoolVar, Literal, as_literal
+
+
+class TestLiteralAlgebra:
+    def test_invert_variable_gives_negated_literal(self):
+        var = BoolVar(index=0, name="a")
+        literal = ~var
+        assert isinstance(literal, Literal)
+        assert literal.negated
+
+    def test_double_negation(self):
+        var = BoolVar(index=0, name="a")
+        assert ~~var.literal() == var.literal()
+
+    def test_value_under(self):
+        var = BoolVar(index=0, name="a")
+        assert var.literal().value_under(1)
+        assert not var.literal().value_under(0)
+        assert (~var).value_under(0)
+        assert not (~var).value_under(1)
+
+    def test_as_literal_coerces(self):
+        var = BoolVar(index=0, name="a")
+        assert as_literal(var) == var.literal()
+        assert as_literal(var.literal()) == var.literal()
+
+    def test_as_literal_rejects_junk(self):
+        with pytest.raises(TypeError):
+            as_literal("a")
+
+    def test_variables_hashable_and_distinct(self):
+        a = BoolVar(index=0, name="a")
+        b = BoolVar(index=1, name="b")
+        assert len({a, b, a}) == 2

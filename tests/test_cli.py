@@ -1,0 +1,117 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestListing:
+    def test_platforms(self, capsys):
+        assert main(["platforms"]) == 0
+        out = capsys.readouterr().out
+        assert "pixel7a" in out
+        assert "raspberry_pi5" in out
+        assert "* = part of the paper's evaluation grid" in out
+
+    def test_apps(self, capsys):
+        assert main(["apps"]) == 0
+        out = capsys.readouterr().out
+        assert "alexnet-dense" in out
+        assert "octree" in out
+
+
+class TestProfile:
+    def test_prints_table(self, capsys):
+        code = main([
+            "profile", "--platform", "jetson_orin_nano",
+            "--app", "octree", "--repetitions", "2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "radix-tree" in out
+        assert "gpu" in out
+
+    def test_saves_table(self, tmp_path, capsys):
+        path = tmp_path / "table.json"
+        main([
+            "profile", "--platform", "jetson_orin_nano",
+            "--app", "octree", "--repetitions", "2",
+            "--mode", "isolated", "--out", str(path),
+        ])
+        from repro.serialization import load
+
+        table = load(path)
+        assert table.mode == "isolated"
+        assert table.platform == "jetson_orin_nano"
+
+    def test_unknown_platform_exits(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--platform", "iphone15"])
+
+    def test_unknown_app_exits(self):
+        with pytest.raises(SystemExit):
+            main(["profile", "--app", "resnet"])
+
+
+class TestPlan:
+    def test_plan_prints_summary(self, capsys, tmp_path):
+        path = tmp_path / "schedule.json"
+        code = main([
+            "plan", "--platform", "jetson_orin_nano", "--app", "octree",
+            "--repetitions", "2", "--k", "4", "--eval-tasks", "6",
+            "--out", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "BetterTogether plan" in out
+        from repro.serialization import load
+
+        schedule = load(path)
+        assert schedule.num_stages == 7
+
+
+class TestBaselinesAndGantt:
+    def test_baselines(self, capsys):
+        code = main([
+            "baselines", "--platform", "pixel7a", "--app", "octree",
+            "--eval-tasks", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "CPU-only" in out and "GPU-only" in out
+
+    def test_gantt(self, capsys):
+        code = main([
+            "gantt", "--platform", "jetson_orin_nano", "--app", "octree",
+            "--repetitions", "2", "--k", "3", "--eval-tasks", "6",
+            "--tasks", "4", "--width", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "chunk 0" in out
+        assert "ms" in out
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestAnalyze:
+    def test_analyze_prints_all_sections(self, capsys):
+        code = main([
+            "analyze", "--platform", "jetson_orin_nano", "--app",
+            "octree", "--repetitions", "2", "--k", "4",
+            "--eval-tasks", "6",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "PU affinities" in out
+        assert "speedup ceiling" in out
+        assert "bottleneck" in out
+        assert "MiB" in out

@@ -1,0 +1,157 @@
+"""Tests for JSON persistence of framework artifacts."""
+
+import json
+
+import pytest
+
+from repro.apps import build_octree_application
+from repro.core.optimizer import BTOptimizer
+from repro.core.profiler import BTProfiler
+from repro.core.schedule import Schedule
+from repro.serialization import (
+    SerializationError,
+    load,
+    optimization_from_dict,
+    optimization_to_dict,
+    profiling_table_from_dict,
+    profiling_table_to_dict,
+    save,
+    schedule_from_dict,
+    schedule_to_dict,
+)
+from repro.soc import get_platform
+
+
+@pytest.fixture(scope="module")
+def pixel():
+    return get_platform("pixel7a")
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_octree_application(n_points=20_000)
+
+
+@pytest.fixture(scope="module")
+def table(pixel, app):
+    return BTProfiler(pixel, repetitions=3).profile(app)
+
+
+@pytest.fixture(scope="module")
+def optimization(pixel, app, table):
+    return BTOptimizer(
+        app, table.restricted(pixel.schedulable_classes()), k=6
+    ).optimize()
+
+
+class TestProfilingTableRoundTrip:
+    def test_round_trip_preserves_entries(self, table):
+        restored = profiling_table_from_dict(profiling_table_to_dict(table))
+        assert restored.stage_names == table.stage_names
+        assert restored.pu_classes == table.pu_classes
+        assert restored.mode == table.mode
+        for stage in table.stage_names:
+            for pu in table.pu_classes:
+                assert restored.latency(stage, pu) == table.latency(
+                    stage, pu
+                )
+
+    def test_file_round_trip(self, table, tmp_path):
+        path = tmp_path / "table.json"
+        save(table, path)
+        restored = load(path)
+        assert restored.latency(
+            table.stage_names[0], table.pu_classes[0]
+        ) == table.latency(table.stage_names[0], table.pu_classes[0])
+
+    def test_malformed_rejected(self):
+        with pytest.raises(SerializationError):
+            profiling_table_from_dict(
+                {"kind": "profiling_table", "version": 1}
+            )
+
+    def test_wrong_kind_rejected(self, table):
+        data = profiling_table_to_dict(table)
+        data["kind"] = "schedule"
+        with pytest.raises(SerializationError):
+            profiling_table_from_dict(data)
+
+    def test_wrong_version_rejected(self, table):
+        data = profiling_table_to_dict(table)
+        data["version"] = 99
+        with pytest.raises(SerializationError):
+            profiling_table_from_dict(data)
+
+
+class TestScheduleRoundTrip:
+    def test_round_trip(self):
+        schedule = Schedule.from_assignments(
+            ["big", "big", "gpu", "little"]
+        )
+        restored = schedule_from_dict(schedule_to_dict(schedule))
+        assert restored.assignments == schedule.assignments
+
+    def test_contiguity_enforced_on_load(self):
+        data = schedule_to_dict(Schedule.homogeneous(3, "big"))
+        data["assignments"] = ["big", "gpu", "big"]
+        from repro.errors import SchedulingError
+
+        with pytest.raises(SchedulingError):
+            schedule_from_dict(data)
+
+
+class TestOptimizationRoundTrip:
+    def test_round_trip_preserves_candidates(self, optimization):
+        restored = optimization_from_dict(
+            optimization_to_dict(optimization)
+        )
+        assert len(restored.candidates) == len(optimization.candidates)
+        for a, b in zip(restored.candidates, optimization.candidates):
+            assert a.rank == b.rank
+            assert a.schedule.assignments == b.schedule.assignments
+            assert a.predicted_latency_s == b.predicted_latency_s
+        assert restored.gap_threshold_s == optimization.gap_threshold_s
+
+    def test_restored_candidates_feed_autotuner(self, optimization, app,
+                                                pixel, tmp_path):
+        """A cached campaign can be resumed on-device (the operational
+        point of serialization)."""
+        from repro.core.autotuner import Autotuner
+
+        path = tmp_path / "opt.json"
+        save(optimization, path)
+        restored = load(path)
+        tuned = Autotuner(app, pixel, eval_tasks=8).tune(restored, top=3)
+        assert len(tuned.entries) == 3
+
+
+class TestFileDispatch:
+    def test_load_dispatches_on_kind(self, table, tmp_path):
+        table_path = tmp_path / "t.json"
+        schedule_path = tmp_path / "s.json"
+        save(table, table_path)
+        save(Schedule.homogeneous(2, "gpu"), schedule_path)
+        from repro.core.profiler import ProfilingTable
+
+        assert isinstance(load(table_path), ProfilingTable)
+        assert isinstance(load(schedule_path), Schedule)
+
+    def test_unsupported_type_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            save(object(), tmp_path / "x.json")
+
+    def test_untagged_file_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"hello": 1}))
+        with pytest.raises(SerializationError):
+            load(path)
+
+    def test_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "x.json"
+        path.write_text(json.dumps({"kind": "mystery", "version": 1}))
+        with pytest.raises(SerializationError):
+            load(path)
+
+    def test_unreadable_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load(tmp_path / "missing.json")
