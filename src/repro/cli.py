@@ -12,12 +12,14 @@ Commands:
 * ``baselines``                - measure CPU-only / GPU-only baselines
 * ``analyze``                  - affinity spreads, speedup bounds, schedule explanation
 * ``gantt``                    - render the deployed pipeline's Gantt chart
+* ``faultsim``                 - inject faults, exercise recovery, report
 * ``report``                   - regenerate every paper table/figure
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -27,7 +29,15 @@ from repro.core import BetterTogether
 from repro.core.profiler import INTERFERENCE, MODES, BTProfiler
 from repro.eval.experiments import ExperimentScale
 from repro.eval.metrics import format_table
-from repro.runtime import SimulatedPipelineExecutor, format_gantt
+from repro.runtime import (
+    FaultInjector,
+    FaultPlan,
+    PuDropoutSpec,
+    RetryPolicy,
+    SimulatedPipelineExecutor,
+    ThreadedPipelineExecutor,
+    format_gantt,
+)
 from repro.serialization import save
 from repro.soc import PLATFORM_NAMES, get_platform
 from repro.soc.platforms import _BUILDERS as _ALL_PLATFORMS
@@ -178,6 +188,89 @@ def cmd_gantt(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_faultsim(args: argparse.Namespace) -> int:
+    """Deploy a plan, inject faults, and report the recovery behaviour.
+
+    Two phases mirror the two back-ends: seeded transient kernel faults
+    against the threaded executor (retry + quarantine), then a
+    permanent PU dropout against the adaptive simulated deployment
+    (fallback to a cached candidate avoiding the dead PU).
+    """
+    platform = _platform(args.platform)
+    application = _build_app(args.app)
+    framework = BetterTogether(
+        platform, repetitions=args.repetitions, k=args.k,
+        eval_tasks=args.eval_tasks,
+    )
+    plan = framework.run(application)
+    print(plan.summary())
+    structured = {}
+
+    # Phase 1: transient kernel faults vs. the threaded back-end.
+    fault_plan = FaultPlan.random(
+        seed=args.seed, n_tasks=args.tasks,
+        n_stages=application.num_stages,
+        kernel_fault_rate=args.kernel_fault_rate,
+        fail_attempts=args.fail_attempts,
+    )
+    injector = FaultInjector(fault_plan)
+    executor = ThreadedPipelineExecutor(
+        application, plan.schedule.chunks(),
+        fault_injector=injector,
+        retry_policy=RetryPolicy(max_attempts=args.max_attempts,
+                                 base_backoff_s=1e-4),
+        isolate_failures=True,
+    )
+    result = executor.run(
+        args.tasks, validate=application.validate_task is not None
+    )
+    threaded_report = injector.report(result.failures)
+    print(f"\nthreaded phase (seed {args.seed}, "
+          f"{fault_plan.n_faults} faults planned): "
+          f"{result.succeeded}/{result.n_tasks} tasks ok, "
+          f"{len(result.failures)} quarantined")
+    print(threaded_report.format())
+    structured["threaded"] = threaded_report.to_dict()
+
+    # Phase 2: permanent PU dropout vs. the adaptive deployment.
+    dropout_pu = args.dropout_pu
+    if dropout_pu is None and not args.no_dropout:
+        for pu in plan.schedule.pu_classes_used:
+            if any(pu not in c.schedule.pu_classes_used
+                   for c in plan.optimization.candidates):
+                dropout_pu = pu
+                break
+    if args.no_dropout or dropout_pu is None:
+        if not args.no_dropout:
+            print("\nno deployed PU has a cached fallback candidate; "
+                  "skipping the dropout phase")
+    else:
+        adaptive = framework.deploy_adaptive(
+            plan, window_tasks=max(args.eval_tasks, 2)
+        )
+        drop_injector = FaultInjector(FaultPlan(dropouts=[
+            PuDropoutSpec(dropout_pu, after_task=args.dropout_after),
+        ]))
+        hit = adaptive.run_window(fault_injector=drop_injector)
+        steady = adaptive.run_window(fault_injector=drop_injector)
+        print(f"\ndropout phase: {dropout_pu!r} dies at task "
+              f"{args.dropout_after}")
+        print(f"  window 0: fallback={hit.fallback} -> "
+              f"{hit.schedule.describe(application)} "
+              f"({hit.measured_latency_s * 1e3:.3f} ms/task)")
+        print(f"  window 1: keeps streaming at "
+              f"{steady.measured_latency_s * 1e3:.3f} ms/task")
+        dropout_report = drop_injector.report()
+        print(dropout_report.format())
+        structured["dropout"] = dropout_report.to_dict()
+
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(structured, handle, indent=2)
+        print(f"\nstructured report saved to {args.out}")
+    return 0
+
+
 def cmd_report(args: argparse.Namespace) -> int:
     """Regenerate every paper table/figure as one text report."""
     from repro.eval.reporting import generate_report
@@ -245,6 +338,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--tasks", type=int, default=8)
     p.add_argument("--width", type=int, default=72)
     p.set_defaults(fn=cmd_gantt)
+
+    p = sub.add_parser("faultsim",
+                       help="inject faults and report the recovery")
+    _add_target_args(p)
+    p.add_argument("--tasks", type=int, default=8,
+                   help="tasks through the threaded back-end")
+    p.add_argument("--seed", type=int, default=0,
+                   help="fault-plan seed (same seed, same faults)")
+    p.add_argument("--kernel-fault-rate", type=float, default=0.15,
+                   help="per-(task, stage) transient fault probability")
+    p.add_argument("--fail-attempts", type=int, default=1,
+                   help="dispatch attempts each injected fault kills")
+    p.add_argument("--max-attempts", type=int, default=3,
+                   help="retry budget per stage dispatch")
+    p.add_argument("--dropout-pu", default=None,
+                   help="PU class to kill mid-run (default: auto-pick)")
+    p.add_argument("--dropout-after", type=int, default=2,
+                   help="task index at which the PU dies")
+    p.add_argument("--no-dropout", action="store_true",
+                   help="skip the PU-dropout phase")
+    p.add_argument("--out", help="save the structured report as JSON")
+    p.set_defaults(fn=cmd_faultsim)
 
     p = sub.add_parser("report",
                        help="regenerate every paper table/figure")

@@ -58,10 +58,19 @@ class DeploymentPlan:
     def measured_latency_s(self) -> float:
         return self.autotune.measured_best.measured_latency_s
 
-    def execute(self, n_tasks: int = 30) -> SimulatedRunResult:
-        """Deploy: stream tasks through the selected pipeline."""
+    def execute(self, n_tasks: int = 30,
+                fault_injector=None) -> SimulatedRunResult:
+        """Deploy: stream tasks through the selected pipeline.
+
+        Args:
+            n_tasks: Tasks to stream.
+            fault_injector: Optional
+                :class:`~repro.runtime.faults.FaultInjector` perturbing
+                the run (resilience studies).
+        """
         executor = SimulatedPipelineExecutor(
-            self.application, self.schedule.chunks(), self.platform
+            self.application, self.schedule.chunks(), self.platform,
+            fault_injector=fault_injector,
         )
         return executor.run(n_tasks)
 
@@ -145,6 +154,32 @@ class BetterTogether:
             table=table,
             optimization=optimization,
             autotune=autotune,
+        )
+
+    def deploy_adaptive(self, plan: DeploymentPlan,
+                        drift_threshold: float = 0.25,
+                        window_tasks: int = 20):
+        """Wrap a plan in an adaptive, fault-recovering deployment.
+
+        The returned
+        :class:`~repro.runtime.adaptive.AdaptivePipeline` executes the
+        plan in windows, re-ranks the cached candidates on latency
+        drift, and - fed a fault injector - survives permanent PU
+        dropout by falling back to the best cached candidate avoiding
+        the dead PU.  This is the production serving loop the static
+        plan alone lacks.
+        """
+        # Imported lazily: repro.runtime.adaptive pulls in the
+        # autotuner, which imports this package.
+        from repro.runtime.adaptive import AdaptivePipeline
+
+        return AdaptivePipeline(
+            application=plan.application,
+            platform=self.platform,
+            candidates=plan.optimization.candidates,
+            drift_threshold=drift_threshold,
+            window_tasks=window_tasks,
+            eval_tasks=self.eval_tasks,
         )
 
     def migrate(self, plan: DeploymentPlan) -> DeploymentPlan:

@@ -50,3 +50,26 @@ class PipelineError(ReproError):
 
 class QueueClosedError(PipelineError):
     """Raised when pushing to / popping from a closed SPSC queue."""
+
+
+class TransientKernelFault(PipelineError):
+    """A kernel dispatch failed in a way that may succeed on retry.
+
+    Raised by the fault-injection layer (and usable by real kernels) to
+    mark a failure as retryable; the runtime's retry policy only ever
+    re-dispatches, never re-profiles.
+    """
+
+
+class PuFailureError(PipelineError):
+    """A processing unit dropped out permanently mid-run.
+
+    Not retryable: recovery means re-scheduling onto the surviving PUs
+    (see :meth:`repro.runtime.adaptive.AdaptivePipeline.mark_pu_failed`).
+    """
+
+    def __init__(self, pu_class: str, message: str = ""):
+        super().__init__(
+            message or f"PU class {pu_class!r} failed permanently"
+        )
+        self.pu_class = pu_class

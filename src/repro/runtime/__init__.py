@@ -10,10 +10,24 @@ Two interchangeable back-ends execute pipeline schedules:
 
 Shared infrastructure: unified-memory buffers (:class:`UsmBuffer`),
 recyclable :class:`TaskObject` containers, and the :class:`SpscQueue`
-dispatchers communicate through.
+dispatchers communicate through.  A deterministic fault-injection layer
+(:mod:`repro.runtime.faults`) plugs into both back-ends to exercise the
+recovery machinery: retry with backoff, per-task quarantine, and
+PU-dropout fallback via :class:`AdaptivePipeline`.
 """
 
 from repro.runtime.adaptive import AdaptivePipeline, WindowRecord
+from repro.runtime.faults import (
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    FaultReport,
+    KernelFaultSpec,
+    PuDropoutSpec,
+    RetryPolicy,
+    SlowdownSpec,
+    TaskFailure,
+)
 from repro.runtime.memory import (
     MemoryReport,
     estimate_pipeline_memory,
@@ -31,11 +45,20 @@ from repro.runtime.usm import UsmBuffer
 
 __all__ = [
     "AdaptivePipeline",
+    "FaultEvent",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultReport",
+    "KernelFaultSpec",
     "MemoryReport",
+    "PuDropoutSpec",
+    "RetryPolicy",
     "SimulatedPipelineExecutor",
     "SimulatedRunResult",
+    "SlowdownSpec",
     "Span",
     "SpscQueue",
+    "TaskFailure",
     "TaskObject",
     "ThreadedPipelineExecutor",
     "ThreadedRunResult",

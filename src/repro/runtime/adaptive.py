@@ -23,12 +23,13 @@ and a real event on Jetson-class deployments.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Set
 
 from repro.core.optimizer import ScheduleCandidate
 from repro.core.schedule import Schedule
 from repro.core.stage import Application
-from repro.errors import PipelineError, SchedulingError
+from repro.errors import PipelineError, PuFailureError, SchedulingError
+from repro.runtime.faults import FALLBACK, FaultInjector
 from repro.runtime.simulator import SimulatedPipelineExecutor
 from repro.soc.platform import Platform
 
@@ -42,6 +43,7 @@ class WindowRecord:
     platform: str
     measured_latency_s: float
     retuned: bool
+    fallback: bool = False
 
 
 @dataclass
@@ -69,6 +71,7 @@ class AdaptivePipeline:
     _schedule: Optional[Schedule] = field(default=None, init=False)
     _reference_latency_s: Optional[float] = field(default=None, init=False)
     history: List[WindowRecord] = field(default_factory=list, init=False)
+    failed_pus: Set[str] = field(default_factory=set, init=False)
 
     def __post_init__(self) -> None:
         if not self.candidates:
@@ -95,7 +98,7 @@ class AdaptivePipeline:
         usable = [
             c for c in self.candidates
             if set(c.schedule.pu_classes_used)
-            <= set(platform.schedulable_classes())
+            <= set(platform.schedulable_classes()) - self.failed_pus
         ]
         if not usable:
             raise SchedulingError(
@@ -104,9 +107,38 @@ class AdaptivePipeline:
             )
         self.platform = platform
 
+    def mark_pu_failed(self, pu_class: str) -> bool:
+        """A PU dropped out permanently: degrade gracefully.
+
+        Removes the PU from the usable set and, when the deployed
+        schedule relied on it, falls back to the best cached candidate
+        avoiding it (level-3 re-ranking only - no re-profiling, exactly
+        the cheap recovery the candidate cache enables).
+
+        Returns True when the deployed schedule changed.
+
+        Raises:
+            SchedulingError: No cached candidate avoids the failed PUs;
+                a full re-run (profiling included) is required.
+        """
+        if pu_class in self.failed_pus:
+            return False
+        self.failed_pus.add(pu_class)
+        if not self._usable_candidates():
+            raise SchedulingError(
+                f"no cached candidate avoids failed PU {pu_class!r}; "
+                "a full re-run (profiling included) is required"
+            )
+        if pu_class in set(self._schedule.pu_classes_used):
+            self._retune()
+            return True
+        return False
+
     # ------------------------------------------------------------------
     def _usable_candidates(self) -> List[ScheduleCandidate]:
-        schedulable = set(self.platform.schedulable_classes())
+        schedulable = (
+            set(self.platform.schedulable_classes()) - self.failed_pus
+        )
         return [
             c for c in self.candidates
             if set(c.schedule.pu_classes_used) <= schedulable
@@ -126,12 +158,21 @@ class AdaptivePipeline:
         del initial
 
     # ------------------------------------------------------------------
-    def run_window(self) -> WindowRecord:
+    def run_window(
+        self, fault_injector: Optional[FaultInjector] = None,
+    ) -> WindowRecord:
         """Execute one window; re-tune first if the last window drifted.
+
+        With a :class:`~repro.runtime.faults.FaultInjector` attached,
+        the window executes under injected faults; a mid-window PU
+        dropout triggers immediate fallback (:meth:`mark_pu_failed`)
+        and the window re-executes on the degraded schedule, so the
+        pipeline keeps streaming.
 
         Returns the window's record (also appended to :attr:`history`).
         """
         retuned = False
+        fallback = False
         if self.history:
             last = self.history[-1]
             drift = abs(
@@ -140,16 +181,35 @@ class AdaptivePipeline:
             if drift > self.drift_threshold:
                 self._retune()
                 retuned = True
-        executor = SimulatedPipelineExecutor(
-            self.application, self._schedule.chunks(), self.platform
-        )
-        measured = executor.measure_per_task_latency(self.window_tasks)
+        while True:
+            executor = SimulatedPipelineExecutor(
+                self.application, self._schedule.chunks(), self.platform,
+                fault_injector=fault_injector,
+            )
+            try:
+                measured = executor.measure_per_task_latency(
+                    self.window_tasks
+                )
+                break
+            except PuFailureError as exc:
+                # Each pass retires one PU class, so this terminates:
+                # either a surviving schedule completes the window or
+                # mark_pu_failed runs out of candidates and raises.
+                self.mark_pu_failed(exc.pu_class)
+                fallback = True
+                if fault_injector is not None:
+                    fault_injector.record(
+                        FALLBACK, exc.pu_class, -1, -1,
+                        detail="fell back to "
+                        + self._schedule.describe(self.application),
+                    )
         record = WindowRecord(
             window_index=len(self.history),
             schedule=self._schedule,
             platform=self.platform.name,
             measured_latency_s=measured,
             retuned=retuned,
+            fallback=fallback,
         )
         self.history.append(record)
         return record

@@ -1,0 +1,476 @@
+"""Deterministic fault injection and recovery machinery (extension).
+
+The paper's BT-Implementer (section 3.4) assumes kernels never fail and
+queues never wedge.  A production deployment cannot: kernels throw,
+stages stall, and PUs drop out (thermal shutdown, driver resets).  This
+module supplies
+
+* a seedable, fully deterministic **fault plan** (which faults hit which
+  (task, stage, PU) coordinates) shared by both back-ends: the threaded
+  executor raises injected exceptions around real kernel dispatch, the
+  discrete-event simulator perturbs per-stage costs and PU liveness;
+* the **recovery policies** the injected faults exercise: retry with
+  exponential backoff for transient kernel faults, per-task quarantine
+  so one poisoned task is reported instead of unwinding the pipeline,
+  and (via :class:`~repro.runtime.adaptive.AdaptivePipeline`) fallback
+  to the best cached candidate avoiding a permanently failed PU;
+* a structured :class:`FaultReport` recording every injected fault,
+  retry, recovery, quarantine and fallback, surfaced by
+  ``python -m repro faultsim``.
+
+Injected faults fire *before* the kernel touches the task's buffers, so
+a retried dispatch reproduces the fault-free output bit for bit - the
+property the recovery tests assert end to end.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import PipelineError, PuFailureError, TransientKernelFault
+
+# Event kinds recorded in the fault log.
+KERNEL_FAULT = "kernel-fault"
+SLOWDOWN = "slowdown"
+PU_DROPOUT = "pu-dropout"
+RETRY = "retry"
+RECOVERY = "recovery"
+QUARANTINE = "quarantine"
+FALLBACK = "fallback"
+
+#: TaskObject constant under which a quarantined task carries its failure.
+_QUARANTINE_KEY = "fault_quarantine"
+
+
+# ----------------------------------------------------------------------
+# Fault specifications
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class KernelFaultSpec:
+    """Raise from one stage's kernel dispatch.
+
+    Attributes:
+        task_id: Task the fault targets.
+        stage_index: Global stage index (0-based over the application).
+        fail_attempts: Consecutive dispatch attempts that fail before
+            the kernel succeeds; ``None`` makes the fault persistent
+            (every attempt fails, so retries cannot save the task).
+        pu_class: Restrict the fault to one PU class (``None`` = any).
+    """
+
+    task_id: int
+    stage_index: int
+    fail_attempts: Optional[int] = 1
+    pu_class: Optional[str] = None
+
+    def matches(self, pu_class: str, stage_index: int,
+                task_id: int) -> bool:
+        """True when this fault fires for the given dispatch."""
+        return (
+            task_id == self.task_id
+            and stage_index == self.stage_index
+            and (self.pu_class is None or pu_class == self.pu_class)
+        )
+
+
+@dataclass(frozen=True)
+class SlowdownSpec:
+    """Transiently slow one stage execution (stall when extreme).
+
+    ``factor`` multiplies the stage's simulated work; ``delay_s`` makes
+    the threaded dispatcher sleep before dispatching - long enough and
+    it trips the executor's queue timeout, which is how wedged-stage
+    behaviour is exercised deterministically.
+    """
+
+    task_id: int
+    stage_index: int
+    factor: float = 4.0
+    delay_s: float = 0.0
+    pu_class: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.factor < 1.0:
+            raise PipelineError("slowdown factor must be >= 1")
+        if self.delay_s < 0.0:
+            raise PipelineError("slowdown delay_s must be >= 0")
+
+    def matches(self, pu_class: str, stage_index: int,
+                task_id: int) -> bool:
+        """True when this slowdown applies to the given dispatch."""
+        return (
+            task_id == self.task_id
+            and stage_index == self.stage_index
+            and (self.pu_class is None or pu_class == self.pu_class)
+        )
+
+
+@dataclass(frozen=True)
+class PuDropoutSpec:
+    """A PU class dies permanently at task ``after_task``.
+
+    Every dispatch on that PU for task ids >= ``after_task`` raises
+    :class:`~repro.errors.PuFailureError`; recovery requires a schedule
+    that avoids the PU entirely.
+    """
+
+    pu_class: str
+    after_task: int = 0
+
+    def __post_init__(self) -> None:
+        if self.after_task < 0:
+            raise PipelineError("after_task must be >= 0")
+
+
+@dataclass
+class FaultPlan:
+    """The full set of faults one run will experience."""
+
+    kernel_faults: List[KernelFaultSpec] = field(default_factory=list)
+    slowdowns: List[SlowdownSpec] = field(default_factory=list)
+    dropouts: List[PuDropoutSpec] = field(default_factory=list)
+
+    def __bool__(self) -> bool:
+        return bool(self.kernel_faults or self.slowdowns or self.dropouts)
+
+    @property
+    def n_faults(self) -> int:
+        return (len(self.kernel_faults) + len(self.slowdowns)
+                + len(self.dropouts))
+
+    @classmethod
+    def random(
+        cls,
+        seed: int,
+        n_tasks: int,
+        n_stages: int,
+        kernel_fault_rate: float = 0.0,
+        slowdown_rate: float = 0.0,
+        fail_attempts: int = 1,
+        slowdown_factor: float = 4.0,
+        delay_s: float = 0.0,
+    ) -> "FaultPlan":
+        """Draw a deterministic plan: same seed, same faults, always.
+
+        Each (task, stage) coordinate independently receives a transient
+        kernel fault with probability ``kernel_fault_rate`` and a
+        slowdown with probability ``slowdown_rate``.
+        """
+        if not 0.0 <= kernel_fault_rate <= 1.0:
+            raise PipelineError("kernel_fault_rate must be in [0, 1]")
+        if not 0.0 <= slowdown_rate <= 1.0:
+            raise PipelineError("slowdown_rate must be in [0, 1]")
+        rng = np.random.default_rng(seed)
+        plan = cls()
+        for task_id, stage in itertools.product(range(n_tasks),
+                                                range(n_stages)):
+            if rng.random() < kernel_fault_rate:
+                plan.kernel_faults.append(KernelFaultSpec(
+                    task_id=task_id, stage_index=stage,
+                    fail_attempts=fail_attempts,
+                ))
+            if rng.random() < slowdown_rate:
+                plan.slowdowns.append(SlowdownSpec(
+                    task_id=task_id, stage_index=stage,
+                    factor=slowdown_factor, delay_s=delay_s,
+                ))
+        return plan
+
+
+# ----------------------------------------------------------------------
+# Recovery policy
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry transient kernel faults with exponential backoff.
+
+    Attributes:
+        max_attempts: Total dispatch attempts per stage (1 = no retry).
+        base_backoff_s: Sleep before the first retry.
+        multiplier: Backoff growth factor per further retry.
+        max_backoff_s: Backoff ceiling.
+    """
+
+    max_attempts: int = 3
+    base_backoff_s: float = 0.001
+    multiplier: float = 2.0
+    max_backoff_s: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise PipelineError("max_attempts must be >= 1")
+        if self.base_backoff_s < 0 or self.max_backoff_s < 0:
+            raise PipelineError("backoff times must be >= 0")
+        if self.multiplier < 1.0:
+            raise PipelineError("backoff multiplier must be >= 1")
+
+    def backoff_s(self, failures: int) -> Optional[float]:
+        """Sleep before retrying after ``failures`` failed attempts.
+
+        Returns ``None`` once the attempt budget is exhausted.
+        """
+        if failures >= self.max_attempts:
+            return None
+        return min(
+            self.base_backoff_s * self.multiplier ** (failures - 1),
+            self.max_backoff_s,
+        )
+
+
+# ----------------------------------------------------------------------
+# Event log and report
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class FaultEvent:
+    """One injected fault or recovery action."""
+
+    kind: str
+    pu_class: str
+    stage_index: int
+    task_id: int
+    attempt: int = 0
+    detail: str = ""
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of the event."""
+        return {
+            "kind": self.kind, "pu_class": self.pu_class,
+            "stage_index": self.stage_index, "task_id": self.task_id,
+            "attempt": self.attempt, "detail": self.detail,
+        }
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A task quarantined after exhausting its recovery budget."""
+
+    task_id: int
+    chunk_index: int
+    stage_index: int
+    pu_class: str
+    error: str
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of the failure."""
+        return {
+            "task_id": self.task_id, "chunk_index": self.chunk_index,
+            "stage_index": self.stage_index, "pu_class": self.pu_class,
+            "error": self.error,
+        }
+
+
+@dataclass
+class FaultReport:
+    """Structured log of everything that went wrong and how it ended."""
+
+    events: Tuple[FaultEvent, ...] = ()
+    failures: Tuple[TaskFailure, ...] = ()
+
+    def count(self, kind: str) -> int:
+        """Number of logged events of the given kind."""
+        return sum(1 for event in self.events if event.kind == kind)
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.kind] = out.get(event.kind, 0) + 1
+        return out
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable form of the full report."""
+        return {
+            "counts": self.counts,
+            "events": [event.to_dict() for event in self.events],
+            "failures": [failure.to_dict() for failure in self.failures],
+        }
+
+    def format(self) -> str:
+        """Human-readable multi-line report."""
+        lines = ["fault/recovery report:"]
+        counts = self.counts
+        if not counts and not self.failures:
+            lines.append("  no faults injected, no recovery needed")
+            return "\n".join(lines)
+        for kind in (KERNEL_FAULT, SLOWDOWN, PU_DROPOUT, RETRY,
+                     RECOVERY, QUARANTINE, FALLBACK):
+            if counts.get(kind):
+                lines.append(f"  {kind:>12}: {counts[kind]}")
+        for event in self.events:
+            where = (f"task {event.task_id} stage {event.stage_index} "
+                     f"on {event.pu_class}"
+                     if event.task_id >= 0 else event.pu_class)
+            suffix = f" ({event.detail})" if event.detail else ""
+            lines.append(f"    [{event.kind}] {where}"
+                         f" attempt {event.attempt}{suffix}")
+        for failure in self.failures:
+            lines.append(
+                f"  quarantined task {failure.task_id}: stage "
+                f"{failure.stage_index} on {failure.pu_class} - "
+                f"{failure.error}"
+            )
+        return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# The injector both back-ends call into
+# ----------------------------------------------------------------------
+class FaultInjector:
+    """Evaluates a :class:`FaultPlan` at dispatch points and logs events.
+
+    Thread-safe: the threaded back-end calls in from every dispatcher.
+
+    Threaded back-end hooks:
+        * :meth:`before_kernel` - called immediately before each kernel
+          dispatch attempt; sleeps for slowdowns, raises
+          :class:`TransientKernelFault` / :class:`PuFailureError` for
+          planned faults.
+
+    Simulated back-end hooks:
+        * :meth:`sim_cost_scale` - work multiplier for one (PU, stage,
+          task) phase; models transient kernel faults as re-execution
+          cost and raises :class:`PuFailureError` on dropout.
+    """
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._lock = threading.Lock()
+        self._events: List[FaultEvent] = []
+        self._dead_pus: Dict[str, int] = {}
+
+    # -- logging -------------------------------------------------------
+    def record(self, kind: str, pu_class: str, stage_index: int,
+               task_id: int, attempt: int = 0, detail: str = "") -> None:
+        """Append one event to the log (callable by recovery code too)."""
+        with self._lock:
+            self._events.append(FaultEvent(
+                kind=kind, pu_class=pu_class, stage_index=stage_index,
+                task_id=task_id, attempt=attempt, detail=detail,
+            ))
+
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        with self._lock:
+            return tuple(self._events)
+
+    @property
+    def dead_pus(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(sorted(self._dead_pus))
+
+    def report(
+        self, failures: Sequence[TaskFailure] = (),
+    ) -> FaultReport:
+        """Snapshot the log as a structured report."""
+        return FaultReport(events=self.events, failures=tuple(failures))
+
+    # -- threaded back-end --------------------------------------------
+    def before_kernel(self, pu_class: str, stage_index: int,
+                      task_id: int, attempt: int = 0,
+                      sleep=time.sleep) -> None:
+        """Fire planned faults for one dispatch attempt.
+
+        Raises:
+            PuFailureError: The PU dropped out (persistent).
+            TransientKernelFault: A planned kernel fault for this
+                attempt (retryable unless the spec is persistent).
+        """
+        self._check_dropout(pu_class, stage_index, task_id)
+        for spec in self.plan.slowdowns:
+            if (spec.matches(pu_class, stage_index, task_id)
+                    and spec.delay_s > 0.0 and attempt == 0):
+                self.record(SLOWDOWN, pu_class, stage_index, task_id,
+                            detail=f"delay {spec.delay_s:g}s")
+                sleep(spec.delay_s)
+        for spec in self.plan.kernel_faults:
+            if not spec.matches(pu_class, stage_index, task_id):
+                continue
+            if spec.fail_attempts is None or attempt < spec.fail_attempts:
+                persistent = spec.fail_attempts is None
+                self.record(KERNEL_FAULT, pu_class, stage_index, task_id,
+                            attempt=attempt,
+                            detail="persistent" if persistent
+                            else f"transient x{spec.fail_attempts}")
+                raise TransientKernelFault(
+                    f"injected kernel fault: task {task_id} stage "
+                    f"{stage_index} on {pu_class} (attempt {attempt})"
+                )
+
+    # -- simulated back-end -------------------------------------------
+    def sim_cost_scale(self, pu_class: str, stage_index: int,
+                       task_id: int) -> float:
+        """Cost multiplier for one simulated (PU, stage, task) phase.
+
+        Transient kernel faults cost their retries' worth of extra
+        executions; persistent ones raise (the simulated pipeline cannot
+        make progress past them).  Slowdowns multiply the work phase.
+
+        Raises:
+            PuFailureError: The PU dropped out at or before this task.
+            TransientKernelFault: A persistent kernel fault blocks the
+                stage entirely.
+        """
+        self._check_dropout(pu_class, stage_index, task_id)
+        scale = 1.0
+        for spec in self.plan.slowdowns:
+            if spec.matches(pu_class, stage_index, task_id):
+                self.record(SLOWDOWN, pu_class, stage_index, task_id,
+                            detail=f"factor {spec.factor:g}")
+                scale *= spec.factor
+        for spec in self.plan.kernel_faults:
+            if not spec.matches(pu_class, stage_index, task_id):
+                continue
+            if spec.fail_attempts is None:
+                self.record(KERNEL_FAULT, pu_class, stage_index, task_id,
+                            detail="persistent")
+                raise TransientKernelFault(
+                    f"injected persistent kernel fault: task {task_id} "
+                    f"stage {stage_index} on {pu_class}"
+                )
+            self.record(KERNEL_FAULT, pu_class, stage_index, task_id,
+                        detail=f"transient x{spec.fail_attempts}")
+            scale *= 1.0 + spec.fail_attempts
+        return scale
+
+    # -- shared --------------------------------------------------------
+    def _check_dropout(self, pu_class: str, stage_index: int,
+                       task_id: int) -> None:
+        for spec in self.plan.dropouts:
+            if spec.pu_class != pu_class or task_id < spec.after_task:
+                continue
+            with self._lock:
+                first = pu_class not in self._dead_pus
+                if first:
+                    self._dead_pus[pu_class] = task_id
+            if first:
+                self.record(PU_DROPOUT, pu_class, stage_index, task_id,
+                            detail=f"dead from task {spec.after_task}")
+            raise PuFailureError(
+                pu_class,
+                f"PU class {pu_class!r} dropped out at task "
+                f"{spec.after_task} (dispatching task {task_id})",
+            )
+
+
+# ----------------------------------------------------------------------
+# Task quarantine helpers (used by the threaded executor)
+# ----------------------------------------------------------------------
+def quarantine_task(task, failure: TaskFailure) -> None:
+    """Mark a TaskObject as poisoned; downstream chunks pass it through."""
+    task.set_constant(_QUARANTINE_KEY, failure)
+
+
+def task_failure(task) -> Optional[TaskFailure]:
+    """The failure a quarantined task carries, or ``None`` if healthy."""
+    return task.constants.get(_QUARANTINE_KEY)
+
+
+def clear_quarantine(task) -> None:
+    """Reset the marker when a TaskObject is recycled for a new task."""
+    task.set_constant(_QUARANTINE_KEY, None)

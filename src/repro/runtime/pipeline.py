@@ -25,7 +25,19 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.stage import Application, Chunk
-from repro.errors import PipelineError, QueueClosedError
+from repro.errors import PipelineError, PuFailureError, QueueClosedError
+from repro.runtime.faults import (
+    RECOVERY,
+    RETRY,
+    QUARANTINE,
+    FaultEvent,
+    FaultInjector,
+    RetryPolicy,
+    TaskFailure,
+    clear_quarantine,
+    quarantine_task,
+    task_failure,
+)
 from repro.runtime.spsc import SpscQueue
 from repro.runtime.task_object import TaskObject
 
@@ -38,12 +50,31 @@ _QUEUE_TIMEOUT_S = 30.0
 
 @dataclass
 class ThreadedRunResult:
-    """Outcome of a threaded pipeline run."""
+    """Outcome of a threaded pipeline run.
+
+    ``n_tasks`` is the requested task count, ``completed`` the number
+    that actually drained from the final queue (they differ only when
+    the run raised).  ``failures`` lists tasks quarantined under
+    failure isolation; ``fault_events`` is the injector's log when a
+    :class:`~repro.runtime.faults.FaultInjector` was attached.
+    """
 
     n_tasks: int
     wall_seconds: float
     chunk_stage_counts: Dict[int, int] = field(default_factory=dict)
     validated: bool = False
+    completed: int = 0
+    failures: List[TaskFailure] = field(default_factory=list)
+    fault_events: Sequence[FaultEvent] = ()
+
+    @property
+    def failed_task_ids(self) -> List[int]:
+        return [failure.task_id for failure in self.failures]
+
+    @property
+    def succeeded(self) -> int:
+        """Tasks that completed without quarantine."""
+        return self.completed - len(self.failures)
 
 
 class _Dispatcher(threading.Thread):
@@ -51,7 +82,11 @@ class _Dispatcher(threading.Thread):
 
     def __init__(self, chunk_index: int, chunk: Chunk,
                  application: Application, in_queue: SpscQueue,
-                 out_queue: SpscQueue, affinity_cores: Sequence[int]):
+                 out_queue: SpscQueue, affinity_cores: Sequence[int],
+                 queue_timeout_s: float = _QUEUE_TIMEOUT_S,
+                 fault_injector: Optional[FaultInjector] = None,
+                 retry_policy: Optional[RetryPolicy] = None,
+                 isolate_failures: bool = False):
         super().__init__(name=f"dispatch-{chunk_index}-{chunk.pu_class}",
                          daemon=True)
         self.chunk_index = chunk_index
@@ -60,6 +95,10 @@ class _Dispatcher(threading.Thread):
         self.in_queue = in_queue
         self.out_queue = out_queue
         self.affinity_cores = tuple(affinity_cores)
+        self.queue_timeout_s = queue_timeout_s
+        self.injector = fault_injector
+        self.retry_policy = retry_policy
+        self.isolate_failures = isolate_failures
         self.stages_executed = 0
         self.error: Optional[BaseException] = None
 
@@ -69,12 +108,13 @@ class _Dispatcher(threading.Thread):
         # the thread for tests to inspect.
         try:
             while True:
-                task = self.in_queue.pop(timeout=_QUEUE_TIMEOUT_S)
+                task = self.in_queue.pop(timeout=self.queue_timeout_s)
                 if task is _POISON:
-                    self.out_queue.push(_POISON, timeout=_QUEUE_TIMEOUT_S)
+                    self.out_queue.push(_POISON,
+                                        timeout=self.queue_timeout_s)
                     return
                 self._process(task)
-                self.out_queue.push(task, timeout=_QUEUE_TIMEOUT_S)
+                self.out_queue.push(task, timeout=self.queue_timeout_s)
         except QueueClosedError:
             # A neighbour unwound; propagate the closure along the chain
             # so every dispatcher (and the driver) wakes up.
@@ -87,11 +127,70 @@ class _Dispatcher(threading.Thread):
             self.out_queue.close()
 
     def _process(self, task: TaskObject) -> None:
+        if task_failure(task) is not None:
+            return  # quarantined upstream: pass through untouched
+        task_id = task.constant("task_index")
         task.synchronize_for(self.chunk.pu_class)
         for index in self.chunk.stage_indices:
-            stage = self.application.stages[index]
-            stage.kernel_for_pu(self.chunk.pu_class)(task)
-            self.stages_executed += 1
+            if not self._dispatch_stage(index, task, task_id):
+                return  # task just got quarantined; skip its remainder
+
+    def _dispatch_stage(self, index: int, task: TaskObject,
+                        task_id: int) -> bool:
+        """Run one stage's kernel with retry/quarantine handling.
+
+        Returns False when the task was quarantined (failure isolation);
+        raises when the failure must unwind the pipeline.  Retries
+        assume restartable kernels: injected faults fire before dispatch
+        touches the task, so a retried attempt starts from clean state.
+        """
+        stage = self.application.stages[index]
+        kernel = stage.kernel_for_pu(self.chunk.pu_class)
+        failures = 0
+        while True:
+            try:
+                if self.injector is not None:
+                    self.injector.before_kernel(
+                        self.chunk.pu_class, index, task_id,
+                        attempt=failures,
+                    )
+                kernel(task)
+            except PuFailureError:
+                raise  # permanent: retrying on a dead PU is pointless
+            except Exception as exc:
+                failures += 1
+                backoff = (self.retry_policy.backoff_s(failures)
+                           if self.retry_policy is not None else None)
+                if backoff is not None:
+                    if self.injector is not None:
+                        self.injector.record(
+                            RETRY, self.chunk.pu_class, index, task_id,
+                            attempt=failures, detail=repr(exc),
+                        )
+                    time.sleep(backoff)
+                    continue
+                if self.isolate_failures:
+                    failure = TaskFailure(
+                        task_id=task_id, chunk_index=self.chunk_index,
+                        stage_index=index,
+                        pu_class=self.chunk.pu_class, error=repr(exc),
+                    )
+                    quarantine_task(task, failure)
+                    if self.injector is not None:
+                        self.injector.record(
+                            QUARANTINE, self.chunk.pu_class, index,
+                            task_id, attempt=failures, detail=repr(exc),
+                        )
+                    return False
+                raise
+            else:
+                self.stages_executed += 1
+                if failures and self.injector is not None:
+                    self.injector.record(
+                        RECOVERY, self.chunk.pu_class, index, task_id,
+                        attempt=failures,
+                    )
+                return True
 
 
 class ThreadedPipelineExecutor:
@@ -106,6 +205,15 @@ class ThreadedPipelineExecutor:
             is in flight between the ends.
         affinity: Optional mapping pu_class -> core ids, recorded on the
             dispatcher threads.
+        fault_injector: Optional fault-injection layer wrapped around
+            every kernel dispatch (:mod:`repro.runtime.faults`).
+        retry_policy: Retry transient kernel failures with exponential
+            backoff before giving up on a task.
+        isolate_failures: Quarantine a task whose stage exhausts its
+            recovery budget (reported in the result's ``failures``)
+            instead of unwinding the whole pipeline.
+        queue_timeout_s: Per-operation queue timeout; a wedged pipeline
+            fails with ``TimeoutError`` instead of hanging.
     """
 
     def __init__(
@@ -114,6 +222,10 @@ class ThreadedPipelineExecutor:
         chunks: Sequence[Chunk],
         num_task_objects: Optional[int] = None,
         affinity: Optional[Dict[str, Sequence[int]]] = None,
+        fault_injector: Optional[FaultInjector] = None,
+        retry_policy: Optional[RetryPolicy] = None,
+        isolate_failures: bool = False,
+        queue_timeout_s: float = _QUEUE_TIMEOUT_S,
     ):
         _check_chunk_cover(application, chunks)
         if application.make_task is None:
@@ -130,6 +242,12 @@ class ThreadedPipelineExecutor:
         if self.depth < 1:
             raise PipelineError("need at least one TaskObject")
         self.affinity = affinity or {}
+        self.fault_injector = fault_injector
+        self.retry_policy = retry_policy
+        self.isolate_failures = isolate_failures
+        if queue_timeout_s <= 0:
+            raise PipelineError("queue_timeout_s must be > 0")
+        self.queue_timeout_s = queue_timeout_s
 
     def run(
         self,
@@ -160,6 +278,10 @@ class ThreadedPipelineExecutor:
                 in_queue=queues[i],
                 out_queue=queues[i + 1],
                 affinity_cores=self.affinity.get(chunk.pu_class, ()),
+                queue_timeout_s=self.queue_timeout_s,
+                fault_injector=self.fault_injector,
+                retry_policy=self.retry_policy,
+                isolate_failures=self.isolate_failures,
             )
             for i, chunk in enumerate(self.chunks)
         ]
@@ -169,33 +291,39 @@ class ThreadedPipelineExecutor:
 
         issued = 0
         completed = 0
+        failures: List[TaskFailure] = []
         try:
             # Prime the pipeline with the multi-buffered TaskObjects.
             for slot in range(min(self.depth, n_tasks)):
                 queues[0].push(self._load_task(TaskObject(slot), issued),
-                               timeout=_QUEUE_TIMEOUT_S)
+                               timeout=self.queue_timeout_s)
                 issued += 1
             # Drain + recycle until all tasks complete.
             while completed < n_tasks:
                 try:
-                    task = queues[-1].pop(timeout=_QUEUE_TIMEOUT_S)
+                    task = queues[-1].pop(timeout=self.queue_timeout_s)
                 except QueueClosedError:
                     break  # a dispatcher crashed and unwound the queues
                 if task is _POISON:  # pragma: no cover - defensive
                     raise PipelineError("pipeline shut down early")
-                self._finish_task(task, completed, on_complete, validate)
+                failure = task_failure(task)
+                if failure is not None:
+                    failures.append(failure)
+                else:
+                    self._finish_task(task, completed, on_complete,
+                                      validate)
                 completed += 1
                 if issued < n_tasks:
                     task.recycle(issued)
                     try:
                         queues[0].push(self._load_task(task, issued),
-                                       timeout=_QUEUE_TIMEOUT_S)
+                                       timeout=self.queue_timeout_s)
                     except QueueClosedError:
                         break  # pipeline unwound mid-recycle
                     issued += 1
             if completed == n_tasks:
                 try:
-                    queues[0].push(_POISON, timeout=_QUEUE_TIMEOUT_S)
+                    queues[0].push(_POISON, timeout=self.queue_timeout_s)
                 except QueueClosedError:  # pragma: no cover - late crash
                     pass
         finally:
@@ -207,12 +335,21 @@ class ThreadedPipelineExecutor:
             for queue in queues:
                 queue.close()
         for dispatcher in dispatchers:
-            dispatcher.join(timeout=_QUEUE_TIMEOUT_S)
+            dispatcher.join(timeout=self.queue_timeout_s)
         for dispatcher in dispatchers:
             if dispatcher.error is not None:
                 raise PipelineError(
-                    f"dispatcher {dispatcher.name} failed"
+                    f"dispatcher {dispatcher.name} failed after "
+                    f"{completed} of {n_tasks} tasks"
                 ) from dispatcher.error
+        if completed < n_tasks:
+            # The queues unwound without any dispatcher recording an
+            # error; returning a result here would silently claim the
+            # missing tasks completed.
+            raise PipelineError(
+                f"pipeline shut down early: {completed} of {n_tasks} "
+                "tasks completed and no dispatcher error was recorded"
+            )
         wall = time.perf_counter() - start
         return ThreadedRunResult(
             n_tasks=n_tasks,
@@ -221,6 +358,10 @@ class ThreadedPipelineExecutor:
                 d.chunk_index: d.stages_executed for d in dispatchers
             },
             validated=validate,
+            completed=completed,
+            failures=failures,
+            fault_events=(self.fault_injector.events
+                          if self.fault_injector is not None else ()),
         )
 
     # ------------------------------------------------------------------
@@ -229,6 +370,7 @@ class ThreadedPipelineExecutor:
         for name, array in payload.items():
             task[name] = array
         task.set_constant("task_index", index)
+        clear_quarantine(task)  # recycled objects must start healthy
         return task
 
     def _finish_task(self, task: TaskObject, index: int,

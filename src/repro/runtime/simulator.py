@@ -26,10 +26,13 @@ from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.core.stage import Application, Chunk
 from repro.errors import PipelineError
+from repro.runtime.faults import FaultInjector
 from repro.runtime.trace import Span
 from repro.soc.interference import co_load_fraction
 from repro.soc.platform import Platform
@@ -181,6 +184,10 @@ class SimulatedPipelineExecutor:
         platform: The virtual SoC (ground-truth oracle).
         depth: Multi-buffering depth (TaskObjects in flight); defaults to
             ``len(chunks) + 1``.
+        fault_injector: Optional fault-injection layer
+            (:mod:`repro.runtime.faults`): slowdowns and transient
+            kernel faults scale per-stage costs, PU dropout raises
+            :class:`~repro.errors.PuFailureError` mid-run.
     """
 
     def __init__(
@@ -189,6 +196,7 @@ class SimulatedPipelineExecutor:
         chunks: Sequence[Chunk],
         platform: Platform,
         depth: Optional[int] = None,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         from repro.runtime.pipeline import _check_chunk_cover
 
@@ -211,6 +219,10 @@ class SimulatedPipelineExecutor:
         self._schedule_key = "|".join(
             f"{c.pu_class}:{c.start}-{c.stop}" for c in self.chunks
         )
+        self._injector = fault_injector
+        # (task, stage) -> jitter scale; the digest + RNG construction
+        # dominates the DES hot path without it.
+        self._noise_cache: Dict[Tuple[int, int], float] = {}
 
     def _costs_for(self, chunk: Chunk) -> List[_StageCost]:
         costs = []
@@ -233,18 +245,42 @@ class SimulatedPipelineExecutor:
 
     # ------------------------------------------------------------------
     def _noise_scale(self, task_id: int, stage: int) -> float:
+        key = (task_id, stage)
+        cached = self._noise_cache.get(key)
+        if cached is not None:
+            return cached
         digest = hashlib.blake2b(
             f"{self.platform.name}|{self._schedule_key}|{task_id}|{stage}"
             .encode(),
             digest_size=8,
         ).digest()
-        rng = __import__("numpy").random.default_rng(
-            int.from_bytes(digest, "little")
-        )
+        rng = np.random.default_rng(int.from_bytes(digest, "little"))
         sigma = _EXEC_NOISE_SIGMA
-        return float(
-            rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma)
-        )
+        scale = float(rng.lognormal(mean=-0.5 * sigma**2, sigma=sigma))
+        self._noise_cache[key] = scale
+        return scale
+
+    def _make_scale_fn(
+        self, server: _ChunkServer,
+    ) -> Callable[[int, int], float]:
+        """Per-server phase-scale function: jitter plus injected faults.
+
+        The fault hooks key on *global* stage indices, which only the
+        server's chunk offset can recover from the DES's local ones.
+        """
+        if self._injector is None:
+            return self._noise_scale
+
+        def scale(task_id: int, local_stage: int) -> float:
+            return self._noise_scale(task_id, local_stage) * (
+                self._injector.sim_cost_scale(
+                    server.chunk.pu_class,
+                    server.chunk.start + local_stage,
+                    task_id,
+                )
+            )
+
+        return scale
 
     def run(self, n_tasks: int,
             record_trace: bool = False,
@@ -272,6 +308,7 @@ class SimulatedPipelineExecutor:
             server.ready.clear()
             server.busy_s = 0.0
 
+        scale_fns = [self._make_scale_fn(s) for s in self._servers]
         now = 0.0
         issued = 0
         completed: List[float] = []
@@ -288,13 +325,14 @@ class SimulatedPipelineExecutor:
                 and issued - len(completed) < self.depth
                 and arrivals[issued] <= now + 1e-15
             ):
-                first.begin_task(issued, self._noise_scale)
+                first.begin_task(issued, scale_fns[0])
                 if record_trace:
                     span_starts[first.index] = now
                 issued += 1
             for server in self._servers[1:]:
                 if server.idle and server.ready:
-                    server.begin_task(server.ready.pop(0), self._noise_scale)
+                    server.begin_task(server.ready.pop(0),
+                                      scale_fns[server.index])
                     if record_trace:
                         span_starts[server.index] = now
 
@@ -358,7 +396,7 @@ class SimulatedPipelineExecutor:
                 if server.idle or not server.finished_phase():
                     continue
                 previous_task = server.task
-                done_task = server.next_phase(self._noise_scale)
+                done_task = server.next_phase(scale_fns[position])
                 if done_task is None:
                     continue
                 if record_trace:

@@ -11,6 +11,7 @@ closing for clean pipeline shutdown.
 from __future__ import annotations
 
 import threading
+import time
 from typing import Any, List, Optional
 
 from repro.errors import QueueClosedError
@@ -48,16 +49,25 @@ class SpscQueue:
     def push(self, item: Any, timeout: Optional[float] = None) -> None:
         """Enqueue, blocking while full.
 
+        ``timeout`` bounds the *total* wait: the deadline is fixed up
+        front, so wakeups that find the queue still full wait only for
+        the remainder (a slow-but-live consumer cannot extend it).
+
         Raises:
             QueueClosedError: The queue was closed.
             TimeoutError: ``timeout`` elapsed while full.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_full:
             while self._size_locked() >= self.capacity:
                 if self._closed:
                     raise QueueClosedError("push to closed queue")
-                if not self._not_full.wait(timeout):
-                    raise TimeoutError("SPSC push timed out")
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("SPSC push timed out")
+                self._not_full.wait(remaining)
             if self._closed:
                 raise QueueClosedError("push to closed queue")
             self._ring[self._tail] = item
@@ -79,16 +89,24 @@ class SpscQueue:
     def pop(self, timeout: Optional[float] = None) -> Any:
         """Dequeue, blocking while empty.
 
+        ``timeout`` bounds the *total* wait (monotonic deadline, as in
+        :meth:`push`), not the gap between wakeups.
+
         Raises:
             QueueClosedError: Closed *and* drained.
             TimeoutError: ``timeout`` elapsed while empty.
         """
+        deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_empty:
             while self._size_locked() == 0:
                 if self._closed:
                     raise QueueClosedError("pop from closed, drained queue")
-                if not self._not_empty.wait(timeout):
-                    raise TimeoutError("SPSC pop timed out")
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError("SPSC pop timed out")
+                self._not_empty.wait(remaining)
             item = self._ring[self._head]
             self._ring[self._head] = None
             self._head = (self._head + 1) % len(self._ring)

@@ -1,0 +1,392 @@
+"""Tests for fault injection and the recovery machinery it exercises."""
+
+import numpy as np
+import pytest
+
+from repro.apps import build_octree_application
+from repro.core import Application, Chunk, Stage
+from repro.core.optimizer import BTOptimizer
+from repro.core.profiler import BTProfiler
+from repro.errors import (
+    PipelineError,
+    PuFailureError,
+    SchedulingError,
+    TransientKernelFault,
+)
+from repro.runtime import (
+    AdaptivePipeline,
+    FaultInjector,
+    FaultPlan,
+    KernelFaultSpec,
+    PuDropoutSpec,
+    RetryPolicy,
+    SimulatedPipelineExecutor,
+    SlowdownSpec,
+    ThreadedPipelineExecutor,
+)
+from repro.runtime.faults import (
+    clear_quarantine,
+    quarantine_task,
+    task_failure,
+    TaskFailure,
+)
+from repro.runtime.task_object import TaskObject
+from repro.soc import WorkProfile, get_platform
+
+
+def work():
+    return WorkProfile(flops=1e3, bytes_moved=1e3, parallelism=4.0)
+
+
+def make_counting_app(n_stages=3):
+    """Each stage increments a counter; output proves order + coverage."""
+
+    def stage_kernel(index):
+        def kernel(task):
+            trace = task["trace"]
+            trace[index] = trace[index - 1] + 1 if index > 0 else 1
+        return kernel
+
+    stages = [
+        Stage(f"s{i}", work(),
+              {"cpu": stage_kernel(i), "gpu": stage_kernel(i)})
+        for i in range(n_stages)
+    ]
+
+    def make_task(seed):
+        return {"trace": np.zeros(n_stages, dtype=np.int64),
+                "seed": np.array([seed], dtype=np.int64)}
+
+    def validate(task):
+        expected = np.arange(1, n_stages + 1)
+        if not np.array_equal(np.asarray(task["trace"]), expected):
+            raise ValueError(f"bad trace {task['trace']}")
+
+    return Application("counting", stages, make_task=make_task,
+                       validate_task=validate)
+
+
+class TestFaultPlan:
+    def test_random_is_deterministic_per_seed(self):
+        kwargs = dict(n_tasks=10, n_stages=4, kernel_fault_rate=0.4,
+                      slowdown_rate=0.3)
+        a = FaultPlan.random(seed=7, **kwargs)
+        b = FaultPlan.random(seed=7, **kwargs)
+        c = FaultPlan.random(seed=8, **kwargs)
+        assert a.kernel_faults == b.kernel_faults
+        assert a.slowdowns == b.slowdowns
+        assert (a.kernel_faults, a.slowdowns) != (c.kernel_faults,
+                                                 c.slowdowns)
+
+    def test_rates_validated(self):
+        with pytest.raises(PipelineError):
+            FaultPlan.random(seed=0, n_tasks=2, n_stages=2,
+                             kernel_fault_rate=1.5)
+        with pytest.raises(PipelineError):
+            FaultPlan.random(seed=0, n_tasks=2, n_stages=2,
+                             slowdown_rate=-0.1)
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan(dropouts=[PuDropoutSpec("gpu")])
+
+    def test_spec_validation(self):
+        with pytest.raises(PipelineError):
+            SlowdownSpec(task_id=0, stage_index=0, factor=0.5)
+        with pytest.raises(PipelineError):
+            SlowdownSpec(task_id=0, stage_index=0, delay_s=-1.0)
+        with pytest.raises(PipelineError):
+            PuDropoutSpec("gpu", after_task=-1)
+
+
+class TestRetryPolicy:
+    def test_exponential_backoff_with_ceiling(self):
+        policy = RetryPolicy(max_attempts=4, base_backoff_s=0.01,
+                             multiplier=2.0, max_backoff_s=0.03)
+        assert policy.backoff_s(1) == pytest.approx(0.01)
+        assert policy.backoff_s(2) == pytest.approx(0.02)
+        assert policy.backoff_s(3) == pytest.approx(0.03)  # capped
+        assert policy.backoff_s(4) is None  # budget exhausted
+
+    def test_validation(self):
+        with pytest.raises(PipelineError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(PipelineError):
+            RetryPolicy(multiplier=0.5)
+        with pytest.raises(PipelineError):
+            RetryPolicy(base_backoff_s=-1.0)
+
+
+class TestQuarantineHelpers:
+    def test_roundtrip_and_clear(self):
+        task = TaskObject(0)
+        assert task_failure(task) is None
+        failure = TaskFailure(1, 0, 2, "big", "boom")
+        quarantine_task(task, failure)
+        assert task_failure(task) == failure
+        clear_quarantine(task)
+        assert task_failure(task) is None
+
+
+class TestThreadedRecovery:
+    def run_app(self, app, n_tasks, **kwargs):
+        outputs = {}
+        result = ThreadedPipelineExecutor(
+            app, [Chunk(0, 2, "big"), Chunk(2, 4, "gpu")], **kwargs
+        ).run(
+            n_tasks, validate=True,
+            on_complete=lambda task, i: outputs.__setitem__(
+                i, np.asarray(task["trace"]).copy()),
+        )
+        return result, outputs
+
+    def test_transient_fault_retried_to_identical_outputs(self):
+        """The acceptance path: retry recovers, outputs are bit-equal."""
+        app = make_counting_app(4)
+        _, clean = self.run_app(app, 5)
+        injector = FaultInjector(FaultPlan(kernel_faults=[
+            KernelFaultSpec(task_id=2, stage_index=1, fail_attempts=2),
+            KernelFaultSpec(task_id=4, stage_index=3, fail_attempts=1),
+        ]))
+        result, faulty = self.run_app(
+            app, 5, fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3, base_backoff_s=1e-5),
+        )
+        assert result.completed == 5
+        assert result.failures == []
+        for i in range(5):
+            np.testing.assert_array_equal(faulty[i], clean[i])
+        report = injector.report()
+        assert report.count("kernel-fault") == 3  # 2 + 1 attempts failed
+        assert report.count("retry") == 3
+        assert report.count("recovery") == 2  # one per faulted stage
+        assert result.fault_events == report.events
+
+    def test_retries_exhausted_unwinds_without_isolation(self):
+        app = make_counting_app(4)
+        injector = FaultInjector(FaultPlan(kernel_faults=[
+            KernelFaultSpec(task_id=1, stage_index=2, fail_attempts=None),
+        ]))
+        with pytest.raises(PipelineError) as info:
+            self.run_app(
+                app, 4, fault_injector=injector,
+                retry_policy=RetryPolicy(max_attempts=2,
+                                         base_backoff_s=1e-5),
+            )
+        assert isinstance(info.value.__cause__, TransientKernelFault)
+
+    def test_isolation_quarantines_poisoned_task(self):
+        app = make_counting_app(4)
+        injector = FaultInjector(FaultPlan(kernel_faults=[
+            KernelFaultSpec(task_id=1, stage_index=1, fail_attempts=None),
+        ]))
+        result, outputs = self.run_app(
+            app, 6, fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=2, base_backoff_s=1e-5),
+            isolate_failures=True,
+        )
+        assert result.completed == 6
+        assert result.succeeded == 5
+        assert result.failed_task_ids == [1]
+        failure = result.failures[0]
+        assert failure.stage_index == 1 and failure.pu_class == "big"
+        # The poisoned task never reached on_complete; the rest did,
+        # including later tasks recycled through the same TaskObject.
+        assert sorted(outputs) == [0, 2, 3, 4, 5]
+        assert injector.report(result.failures).count("quarantine") == 1
+
+    def test_isolation_without_retry_policy(self):
+        app = make_counting_app(4)
+        injector = FaultInjector(FaultPlan(kernel_faults=[
+            KernelFaultSpec(task_id=0, stage_index=3, fail_attempts=1),
+        ]))
+        result, _ = self.run_app(
+            app, 3, fault_injector=injector, isolate_failures=True,
+        )
+        assert result.failed_task_ids == [0]
+
+    def test_slowdown_delay_logged_and_completes(self):
+        app = make_counting_app(4)
+        injector = FaultInjector(FaultPlan(slowdowns=[
+            SlowdownSpec(task_id=0, stage_index=0, delay_s=0.02),
+        ]))
+        result, _ = self.run_app(app, 3, fault_injector=injector)
+        assert result.completed == 3
+        assert injector.report().count("slowdown") == 1
+
+    def test_pu_dropout_unwinds_pipeline(self):
+        app = make_counting_app(4)
+        injector = FaultInjector(FaultPlan(dropouts=[
+            PuDropoutSpec("gpu", after_task=1),
+        ]))
+        with pytest.raises(PipelineError) as info:
+            self.run_app(
+                app, 4, fault_injector=injector,
+                retry_policy=RetryPolicy(max_attempts=5,
+                                         base_backoff_s=1e-5),
+                isolate_failures=True,
+            )
+        # Dropout is permanent: neither retries nor quarantine apply.
+        assert isinstance(info.value.__cause__, PuFailureError)
+        assert info.value.__cause__.pu_class == "gpu"
+
+    def test_octree_outputs_survive_faults(self):
+        """Real kernels: a retried transient fault must not corrupt the
+        octree (injection fires before dispatch, so state stays clean)."""
+        app = build_octree_application(n_points=400)
+        chunks = [Chunk(0, 3, "little"), Chunk(3, 7, "gpu")]
+
+        def run(**kwargs):
+            cells = []
+            ThreadedPipelineExecutor(app, chunks, **kwargs).run(
+                2, validate=True,
+                on_complete=lambda task, i: cells.append(
+                    int(np.asarray(task["oc_num_cells"])[0])),
+            )
+            return cells
+
+        clean = run()
+        injector = FaultInjector(FaultPlan(kernel_faults=[
+            KernelFaultSpec(task_id=1, stage_index=4, fail_attempts=1),
+        ]))
+        faulty = run(
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=2, base_backoff_s=1e-5),
+        )
+        assert faulty == clean
+        assert injector.report().count("recovery") == 1
+
+
+class TestSimulatedFaults:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return make_counting_app(4)
+
+    def executor(self, app, injector=None):
+        return SimulatedPipelineExecutor(
+            app, [Chunk(0, 2, "big"), Chunk(2, 4, "gpu")],
+            get_platform("jetson_orin_nano"), fault_injector=injector,
+        )
+
+    def test_noise_memoization_keeps_runs_identical(self, app):
+        fresh = self.executor(app).run(10)
+        twice = self.executor(app)
+        first = twice.run(10)
+        second = twice.run(10)  # served from the noise cache
+        assert twice._noise_cache  # the memo actually populated
+        assert first.completion_times_s == fresh.completion_times_s
+        assert second.completion_times_s == first.completion_times_s
+
+    def test_slowdown_stretches_completion(self, app):
+        baseline = self.executor(app).run(6).total_s
+        injector = FaultInjector(FaultPlan(slowdowns=[
+            SlowdownSpec(task_id=t, stage_index=1, factor=8.0)
+            for t in range(6)
+        ]))
+        slowed = self.executor(app, injector).run(6).total_s
+        assert slowed > baseline
+        assert injector.report().count("slowdown") == 6
+
+    def test_transient_fault_costs_reexecution(self, app):
+        baseline = self.executor(app).run(6).total_s
+        injector = FaultInjector(FaultPlan(kernel_faults=[
+            KernelFaultSpec(task_id=3, stage_index=2, fail_attempts=2),
+        ]))
+        faulted = self.executor(app, injector).run(6).total_s
+        assert faulted > baseline
+
+    def test_persistent_kernel_fault_raises(self, app):
+        injector = FaultInjector(FaultPlan(kernel_faults=[
+            KernelFaultSpec(task_id=0, stage_index=0,
+                            fail_attempts=None),
+        ]))
+        with pytest.raises(TransientKernelFault):
+            self.executor(app, injector).run(4)
+
+    def test_dropout_raises_pu_failure(self, app):
+        injector = FaultInjector(FaultPlan(dropouts=[
+            PuDropoutSpec("gpu", after_task=2),
+        ]))
+        with pytest.raises(PuFailureError) as info:
+            self.executor(app, injector).run(6)
+        assert info.value.pu_class == "gpu"
+        assert "gpu" in injector.dead_pus
+
+
+class TestAdaptiveFallback:
+    @pytest.fixture(scope="class")
+    def app(self):
+        return build_octree_application(n_points=20_000)
+
+    @pytest.fixture(scope="class")
+    def candidates(self, app):
+        platform = get_platform("jetson_orin_nano")
+        table = BTProfiler(platform, repetitions=3).profile(app)
+        return BTOptimizer(
+            app, table.restricted(platform.schedulable_classes()), k=6
+        ).optimize().candidates
+
+    def make_pipeline(self, app, candidates):
+        return AdaptivePipeline(
+            application=app,
+            platform=get_platform("jetson_orin_nano"),
+            candidates=candidates,
+            eval_tasks=8,
+            window_tasks=10,
+        )
+
+    def test_dropout_falls_back_and_keeps_streaming(self, app,
+                                                    candidates):
+        """The acceptance path: kill a deployed PU mid-window; the
+        pipeline re-ranks the cached candidates avoiding it and keeps
+        serving, with the report recording dropout and fallback."""
+        pipeline = self.make_pipeline(app, candidates)
+        victim = pipeline.schedule.pu_classes_used[0]
+        assert any(victim not in c.schedule.pu_classes_used
+                   for c in candidates)  # a fallback exists
+        injector = FaultInjector(FaultPlan(dropouts=[
+            PuDropoutSpec(victim, after_task=1),
+        ]))
+        hit = pipeline.run_window(fault_injector=injector)
+        assert hit.fallback
+        assert victim not in hit.schedule.pu_classes_used
+        assert victim in pipeline.failed_pus
+        steady = pipeline.run_window(fault_injector=injector)
+        assert steady.measured_latency_s > 0
+        assert not steady.fallback
+        report = injector.report()
+        assert report.count("pu-dropout") == 1
+        assert report.count("fallback") == 1
+
+    def test_mark_pu_failed_without_fallback_raises(self, app,
+                                                    candidates):
+        victim = "gpu"
+        only_victim = [
+            c for c in candidates
+            if victim in c.schedule.pu_classes_used
+        ]
+        assert only_victim  # precondition
+        pipeline = AdaptivePipeline(
+            application=app,
+            platform=get_platform("jetson_orin_nano"),
+            candidates=only_victim,
+            eval_tasks=8,
+            window_tasks=10,
+        )
+        with pytest.raises(SchedulingError):
+            pipeline.mark_pu_failed(victim)
+
+    def test_mark_unused_pu_does_not_retune(self, app, candidates):
+        pipeline = self.make_pipeline(app, candidates)
+        used = set(pipeline.schedule.pu_classes_used)
+        unused = [
+            pu for pu in ("little", "medium", "big", "gpu")
+            if pu not in used
+            and any(pu not in c.schedule.pu_classes_used
+                    for c in candidates)
+        ]
+        if not unused:
+            pytest.skip("deployed schedule uses every fallback-safe PU")
+        before = pipeline.schedule
+        assert pipeline.mark_pu_failed(unused[0]) is False
+        assert pipeline.schedule is before

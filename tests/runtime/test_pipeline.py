@@ -1,5 +1,7 @@
 """Tests for the threaded pipeline executor (functional back-end)."""
 
+import threading
+
 import numpy as np
 import pytest
 
@@ -104,6 +106,76 @@ class TestThreadedExecutor:
         )
         with pytest.raises(PipelineError):
             ThreadedPipelineExecutor(app, [Chunk(0, 1, "big")]).run(2)
+
+    def test_kernel_raises_on_task_k_unwinds_with_true_count(self):
+        """Crash mid-stream: the pipeline unwinds (no hang), the error
+        surfaces chained, and the message reports how far it got."""
+        n_stages, crash_at = 3, 2
+
+        def maybe_explode(task):
+            if int(np.asarray(task["seed"])[0]) == crash_at:
+                raise RuntimeError("kernel crash on task 2")
+            task["trace"][0] = 1
+
+        def passthrough(task):
+            trace = task["trace"]
+            trace[1:] = trace[0] + np.arange(1, n_stages)
+
+        stages = [
+            Stage("s0", work(),
+                  {"cpu": maybe_explode, "gpu": maybe_explode}),
+            Stage("s1", work(), {"cpu": passthrough, "gpu": passthrough}),
+            Stage("s2", work(), {"cpu": lambda t: None,
+                                 "gpu": lambda t: None}),
+        ]
+        app = Application(
+            "crash-at-k", stages,
+            make_task=lambda seed: {
+                "trace": np.zeros(n_stages, dtype=np.int64),
+                "seed": np.array([seed], dtype=np.int64),
+            },
+        )
+        executor = ThreadedPipelineExecutor(
+            app, [Chunk(0, 2, "big"), Chunk(2, 3, "gpu")],
+            queue_timeout_s=10.0,
+        )
+        with pytest.raises(PipelineError) as info:
+            executor.run(6)
+        assert isinstance(info.value.__cause__, RuntimeError)
+        assert "of 6 tasks" in str(info.value)
+
+    def test_unexplained_early_shutdown_raises(self):
+        """A queue closing under the driver with no dispatcher error
+        must raise, not return a result claiming every task finished."""
+
+        def sneaky(task):
+            # Kernels run on the dispatcher thread; closing its input
+            # queue models an external wedge/shutdown with no error.
+            if int(np.asarray(task["seed"])[0]) == 1:
+                threading.current_thread().in_queue.close()
+
+        stage = Stage("s0", work(), {"cpu": sneaky, "gpu": sneaky})
+        app = Application(
+            "wedged", [stage],
+            make_task=lambda seed: {
+                "seed": np.array([seed], dtype=np.int64)},
+        )
+        executor = ThreadedPipelineExecutor(
+            app, [Chunk(0, 1, "big")], queue_timeout_s=10.0,
+        )
+        with pytest.raises(PipelineError) as info:
+            executor.run(6)
+        assert "shut down early" in str(info.value)
+        assert "of 6" in str(info.value)
+
+    def test_result_reports_completed_count(self):
+        app = make_counting_app(2)
+        result = ThreadedPipelineExecutor(
+            app, [Chunk(0, 2, "big")]
+        ).run(5)
+        assert result.completed == 5
+        assert result.failures == []
+        assert result.succeeded == 5
 
     def test_needs_task_factory(self):
         stage = Stage("s0", work(), {"cpu": lambda t: None,

@@ -1,6 +1,7 @@
 """Tests for the SPSC queue, UsmBuffer and TaskObject."""
 
 import threading
+import time
 
 import numpy as np
 import pytest
@@ -100,6 +101,96 @@ class TestSpscQueue:
         q.close()
         t.join(timeout=5)
         assert outcome == ["closed"]
+
+    def test_blocked_producer_wakes_on_close(self):
+        q = SpscQueue(capacity=1)
+        q.push("fill")
+        outcome = []
+        started = threading.Event()
+
+        def producer():
+            started.set()
+            try:
+                q.push("blocked", timeout=5)
+            except QueueClosedError:
+                outcome.append("closed")
+
+        t = threading.Thread(target=producer)
+        t.start()
+        started.wait(timeout=5)
+        time.sleep(0.05)  # let the producer actually block while full
+        q.close()
+        t.join(timeout=5)
+        assert outcome == ["closed"]
+
+    def test_ring_wraparound_interleaved(self):
+        """Head/tail must wrap cleanly when pushes and pops interleave
+        at partial occupancy (many times around a small ring)."""
+        q = SpscQueue(capacity=3)
+        popped = []
+        pushed = iter(range(100))
+        q.push(next(pushed))
+        q.push(next(pushed))
+        for _ in range(49):
+            popped.append(q.pop())
+            q.push(next(pushed))
+            popped.append(q.pop())
+            q.push(next(pushed))
+        while len(q):
+            popped.append(q.pop())
+        assert popped == list(range(100))
+
+    def test_pop_timeout_is_deadline_not_per_wakeup(self):
+        """A slow-but-live peer must not extend the bound: wakeups that
+        find the queue still empty wait only for the remainder.  (The
+        old per-``wait`` timeout restarted the clock on every notify.)"""
+        q = SpscQueue(capacity=1)
+        stop = threading.Event()
+
+        def waker():  # spurious notifies, faster than the timeout
+            for _ in range(100):  # bounded so a regression can't hang
+                if stop.is_set():
+                    break
+                with q._lock:
+                    q._not_empty.notify_all()
+                time.sleep(0.02)
+
+        t = threading.Thread(target=waker)
+        t.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(TimeoutError):
+                q.pop(timeout=0.15)
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            t.join(timeout=5)
+        assert elapsed < 2.0
+
+    def test_push_timeout_is_deadline_not_per_wakeup(self):
+        q = SpscQueue(capacity=1)
+        q.push("fill")
+        stop = threading.Event()
+
+        def waker():
+            for _ in range(100):  # bounded so a regression can't hang
+                if stop.is_set():
+                    break
+                with q._lock:
+                    q._not_full.notify_all()
+                time.sleep(0.02)
+
+        t = threading.Thread(target=waker)
+        t.start()
+        start = time.monotonic()
+        try:
+            with pytest.raises(TimeoutError):
+                q.push("blocked", timeout=0.15)
+            elapsed = time.monotonic() - start
+        finally:
+            stop.set()
+            t.join(timeout=5)
+        assert elapsed < 2.0
 
 
 class TestUsmBuffer:

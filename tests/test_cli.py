@@ -92,6 +92,42 @@ class TestBaselinesAndGantt:
         assert "ms" in out
 
 
+class TestFaultsim:
+    def test_recovery_report_and_json(self, capsys, tmp_path):
+        path = tmp_path / "faults.json"
+        code = main([
+            "faultsim", "--platform", "jetson_orin_nano",
+            "--app", "octree", "--repetitions", "2", "--k", "4",
+            "--eval-tasks", "6", "--tasks", "5", "--seed", "1",
+            "--out", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "threaded phase" in out
+        assert "fault/recovery report" in out
+        assert "dropout phase" in out
+        assert "fallback=True" in out
+        import json
+
+        structured = json.loads(path.read_text())
+        assert structured["threaded"]["counts"].get("recovery")
+        assert structured["dropout"]["counts"] == {"pu-dropout": 1,
+                                                  "fallback": 1}
+
+    def test_no_dropout_flag(self, capsys):
+        code = main([
+            "faultsim", "--platform", "raspberry_pi5", "--app",
+            "octree", "--repetitions", "2", "--k", "3",
+            "--eval-tasks", "6", "--tasks", "3",
+            "--kernel-fault-rate", "0.0", "--no-dropout",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "0 faults planned" in out
+        assert "no faults injected" in out
+        assert "dropout phase" not in out
+
+
 class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):

@@ -13,6 +13,7 @@ class TestHierarchy:
         errors.PlatformError, errors.KernelError,
         errors.SchedulingError, errors.ProfilingError,
         errors.PipelineError, errors.QueueClosedError,
+        errors.TransientKernelFault, errors.PuFailureError,
         SerializationError,
     ])
     def test_all_derive_from_repro_error(self, exc):
@@ -25,6 +26,16 @@ class TestHierarchy:
 
     def test_queue_closed_is_pipeline_error(self):
         assert issubclass(errors.QueueClosedError, errors.PipelineError)
+
+    def test_fault_family_is_pipeline_error(self):
+        assert issubclass(errors.TransientKernelFault,
+                          errors.PipelineError)
+        assert issubclass(errors.PuFailureError, errors.PipelineError)
+
+    def test_pu_failure_carries_pu_class(self):
+        exc = errors.PuFailureError("gpu")
+        assert exc.pu_class == "gpu"
+        assert "gpu" in str(exc)
 
     def test_single_catch_at_api_boundary(self):
         """The documented usage pattern: one except clause suffices."""
