@@ -9,11 +9,16 @@ Commands:
 * ``platforms`` / ``apps``     - list registered targets / workloads
 * ``profile``                  - collect a profiling table (optionally save JSON)
 * ``plan``                     - run the end-to-end flow, print the plan
+* ``run``                      - checkpointed campaign with resume (``--session``)
 * ``baselines``                - measure CPU-only / GPU-only baselines
 * ``analyze``                  - affinity spreads, speedup bounds, schedule explanation
 * ``gantt``                    - render the deployed pipeline's Gantt chart
 * ``faultsim``                 - inject faults, exercise recovery, report
 * ``report``                   - regenerate every paper table/figure
+
+Every command exits non-zero on failure and prints a structured
+(JSON) error description to stderr, so campaign drivers and CI can
+react to failures without scraping tracebacks.
 """
 
 from __future__ import annotations
@@ -21,12 +26,14 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.apps import APPLICATION_BUILDERS
 from repro.baselines import measure_baselines
-from repro.core import BetterTogether
+from repro.core import BetterTogether, CampaignSession
 from repro.core.profiler import INTERFERENCE, MODES, BTProfiler
+from repro.errors import CampaignError, ReproError
 from repro.eval.experiments import ExperimentScale
 from repro.eval.metrics import format_table
 from repro.runtime import (
@@ -38,7 +45,7 @@ from repro.runtime import (
     ThreadedPipelineExecutor,
     format_gantt,
 )
-from repro.serialization import save
+from repro.serialization import atomic_write_text, save
 from repro.soc import PLATFORM_NAMES, get_platform
 from repro.soc.platforms import _BUILDERS as _ALL_PLATFORMS
 
@@ -48,17 +55,15 @@ def _build_app(name: str):
         builder = APPLICATION_BUILDERS[name]
     except KeyError:
         known = ", ".join(sorted(APPLICATION_BUILDERS))
-        raise SystemExit(f"unknown application {name!r}; known: {known}")
+        raise ReproError(
+            f"unknown application {name!r}; known: {known}"
+        ) from None
     return builder()
 
 
 def _platform(name: str):
-    from repro.errors import PlatformError
-
-    try:
-        return get_platform(name)
-    except PlatformError as exc:
-        raise SystemExit(str(exc))
+    # PlatformError propagates to main()'s structured error handler.
+    return get_platform(name)
 
 
 # ----------------------------------------------------------------------
@@ -111,6 +116,42 @@ def cmd_plan(args: argparse.Namespace) -> int:
     if args.out:
         save(plan.schedule, args.out)
         print(f"schedule saved to {args.out}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Run a checkpointed campaign; re-running the directory resumes.
+
+    ``--session DIR`` checkpoints every unit of work (profiling cell,
+    candidate log, autotune measurement) to DIR as it completes;
+    ``--resume DIR`` is the same but requires DIR to already hold a
+    session, catching mistyped paths on what was meant to be a resume.
+    Without either, this is equivalent to ``plan`` (no checkpoints).
+    """
+    platform = _platform(args.platform)
+    application = _build_app(args.app)
+    framework = BetterTogether(
+        platform, repetitions=args.repetitions, k=args.k,
+        eval_tasks=args.eval_tasks, time_budget_s=args.time_budget_s,
+    )
+    directory = args.resume or args.session
+    if args.resume and not (args.resume / "manifest.json").exists():
+        raise CampaignError(
+            f"--resume {args.resume}: no session manifest found; "
+            "use --session to start a new session"
+        )
+    if directory is None:
+        plan = framework.run(application)
+        print(plan.summary())
+        return 0
+    session = CampaignSession(directory, framework)
+    on_unit = ((lambda unit: print(f"  done {unit}", file=sys.stderr))
+               if args.verbose else None)
+    plan = session.run(application, on_unit=on_unit)
+    print(session.report.format())
+    print()
+    print(plan.summary())
+    print(f"\nsession checkpoints in {session.directory}")
     return 0
 
 
@@ -265,8 +306,8 @@ def cmd_faultsim(args: argparse.Namespace) -> int:
         structured["dropout"] = dropout_report.to_dict()
 
     if args.out:
-        with open(args.out, "w") as handle:
-            json.dump(structured, handle, indent=2)
+        atomic_write_text(args.out,
+                          json.dumps(structured, indent=2) + "\n")
         print(f"\nstructured report saved to {args.out}")
     return 0
 
@@ -324,6 +365,22 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="save the deployed schedule as JSON")
     p.set_defaults(fn=cmd_plan)
 
+    p = sub.add_parser("run",
+                       help="checkpointed campaign with resume support")
+    _add_target_args(p)
+    p.add_argument("--session", type=Path, default=None,
+                   help="checkpoint every unit of work to this directory"
+                        " (re-running it resumes)")
+    p.add_argument("--resume", type=Path, default=None,
+                   help="resume an existing session directory (must "
+                        "already contain a manifest)")
+    p.add_argument("--time-budget-s", type=float, default=None,
+                   help="wall-clock budget for the optimizer search; on "
+                        "expiry it degrades to a greedy schedule")
+    p.add_argument("--verbose", action="store_true",
+                   help="log each completed unit of work to stderr")
+    p.set_defaults(fn=cmd_run)
+
     p = sub.add_parser("baselines", help="measure homogeneous baselines")
     _add_target_args(p)
     p.set_defaults(fn=cmd_baselines)
@@ -370,9 +427,19 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Failures exit non-zero with a one-line JSON error object on stderr
+    (``{"error": <class>, "message": <text>}``) so drivers and CI can
+    react to the failure kind without scraping tracebacks.
+    """
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (ReproError, OSError) as exc:
+        print(json.dumps({"error": type(exc).__name__,
+                          "message": str(exc)}), file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

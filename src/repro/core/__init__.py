@@ -20,7 +20,12 @@ from repro.core.profiler import (
     ProfilingTable,
     interference_ratios,
 )
-from repro.core.schedule import Schedule, enumerate_schedules
+from repro.core.schedule import (
+    Schedule,
+    enumerate_schedules,
+    validate_schedule,
+)
+from repro.core.session import CampaignSession, SessionReport
 from repro.core.stage import Application, Chunk, Stage, TaskGraph
 
 __all__ = [
@@ -31,6 +36,7 @@ __all__ = [
     "BTOptimizer",
     "BTProfiler",
     "BetterTogether",
+    "CampaignSession",
     "Chunk",
     "DeploymentPlan",
     "INTERFERENCE",
@@ -41,9 +47,11 @@ __all__ = [
     "RateTrial",
     "Schedule",
     "ScheduleCandidate",
+    "SessionReport",
     "Stage",
     "TaskGraph",
     "enumerate_schedules",
     "interference_ratios",
     "select_for_rate",
+    "validate_schedule",
 ]

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.optimizer import OptimizationResult, ScheduleCandidate
+from repro.core.schedule import validate_schedule
 from repro.core.stage import Application
 from repro.errors import SchedulingError
 from repro.runtime.simulator import SimulatedPipelineExecutor
@@ -94,7 +95,17 @@ class Autotuner:
         self.depth = depth
 
     def measure(self, candidate: ScheduleCandidate) -> AutotuneEntry:
-        """Run one candidate and record its measured per-task latency."""
+        """Run one candidate and record its measured per-task latency.
+
+        The candidate is validated against the application and the
+        platform's schedulable PU classes before anything executes, so
+        a hand-crafted or stale (e.g. migrated) schedule fails loudly
+        here rather than deep inside the executor.
+        """
+        validate_schedule(
+            candidate.schedule, self.application,
+            available_pus=self.platform.schedulable_classes(),
+        )
         executor = SimulatedPipelineExecutor(
             self.application,
             candidate.schedule.chunks(),

@@ -24,13 +24,14 @@ under the paper's 50 ms figure.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.profiler import ProfilingTable
-from repro.core.schedule import Schedule
+from repro.core.schedule import Schedule, validate_schedule
 from repro.core.stage import Application
-from repro.errors import SchedulingError
+from repro.errors import SchedulingError, SolverTimeoutError
 from repro.solver import Model, Solver
 
 #: Number of diverse candidates level 2 produces (paper: K = 20).
@@ -62,6 +63,9 @@ class OptimizationResult:
     utilization_optimum: Optional[ScheduleCandidate]
     solver_invocations: int = 0
     solver_wall_s: float = 0.0
+    #: True when the solver's wall-clock budget expired and the result
+    #: degraded to the greedy best-PU schedule (no optimality claim).
+    degraded: bool = False
 
     @property
     def best(self) -> ScheduleCandidate:
@@ -101,6 +105,13 @@ class BTOptimizer:
         gap_slack: Gapness threshold slack (fraction of optimal T_max).
         max_chunk_time_s / min_chunk_time_s: Optional hard per-chunk
             bounds (constraints C3a / C3b).
+        time_budget_s: Optional wall-clock budget across *all* solver
+            invocations of one :meth:`optimize` call.  When it expires,
+            the result degrades gracefully to the greedy best-PU
+            schedule (``result.degraded`` is True) instead of raising.
+        max_decisions: Optional per-invocation solver decision budget,
+            forwarded to :class:`repro.solver.Solver`; exhaustion
+            triggers the same greedy degradation.
     """
 
     def __init__(
@@ -112,9 +123,13 @@ class BTOptimizer:
         gap_slack: float = DEFAULT_GAP_SLACK,
         max_chunk_time_s: Optional[float] = None,
         min_chunk_time_s: Optional[float] = None,
+        time_budget_s: Optional[float] = None,
+        max_decisions: Optional[int] = None,
     ):
         if k < 1:
             raise SchedulingError("k must be >= 1")
+        if time_budget_s is not None and time_budget_s <= 0:
+            raise SchedulingError("time_budget_s must be > 0")
         self.application = application
         self.table = table
         self.pu_classes = tuple(pu_classes or table.pu_classes)
@@ -131,6 +146,9 @@ class BTOptimizer:
         self.gap_slack = gap_slack
         self.max_chunk_time_s = max_chunk_time_s
         self.min_chunk_time_s = min_chunk_time_s
+        self.time_budget_s = time_budget_s
+        self.max_decisions = max_decisions
+        self._deadline: Optional[float] = None
         # Dense latency matrix for fast objective evaluation.
         self._lat = [
             [table.latency(stage, pu) for pu in self.pu_classes]
@@ -211,6 +229,19 @@ class BTOptimizer:
             [self.pu_classes[c] for c in assignment]
         )
 
+    def _make_solver(self, model: Model) -> Solver:
+        """A solver honouring whatever remains of the wall budget."""
+        remaining = None
+        if self._deadline is not None:
+            remaining = self._deadline - time.perf_counter()
+            if remaining <= 0:
+                raise SolverTimeoutError(
+                    f"optimization wall-clock budget exhausted "
+                    f"({self.time_budget_s}s)"
+                )
+        return Solver(model, max_decisions=self.max_decisions,
+                      time_budget_s=remaining)
+
     # ------------------------------------------------------------------
     # Branch-and-bound lower bounds
     #
@@ -269,7 +300,7 @@ class BTOptimizer:
                 return math.inf
             return self._gapness(assignment)
 
-        solver = Solver(model)
+        solver = self._make_solver(model)
         result = solver.minimize(
             objective, lower_bound=self._gapness_lower_bound(x)
         )
@@ -300,10 +331,119 @@ class BTOptimizer:
         return tuple(assignment)
 
     # ------------------------------------------------------------------
+    # Greedy fallback (degraded mode)
+    # ------------------------------------------------------------------
+    def greedy_assignment(self) -> Tuple[int, ...]:
+        """Stage-major greedy best-PU schedule (no solver involved).
+
+        Walks the stages in order; each stage either stays on the
+        current chunk's PU or opens a new chunk on the fastest PU not
+        used yet, whichever has the lower profiled latency for that
+        stage.  Contiguity (C2) holds by construction; the per-chunk
+        bounds (C3) are *not* enforced - this is the degraded answer
+        when the solver budget expires, not an optimal one.
+        """
+        n = self.application.num_stages
+        m = len(self.pu_classes)
+        used: set = set()
+        current: Optional[int] = None
+        assignment: List[int] = []
+        for i in range(n):
+            options = ([current] if current is not None else []) + [
+                c for c in range(m) if c not in used and c != current
+            ]
+            best = min(options, key=lambda c: self._lat[i][c])
+            if best != current:
+                if current is not None:
+                    used.add(current)
+                current = best
+            assignment.append(best)
+        return tuple(assignment)
+
+    def _degraded_result(
+        self, partial: List[ScheduleCandidate]
+    ) -> OptimizationResult:
+        """Greedy best-PU schedule plus whatever level 2 already found."""
+        greedy = self.greedy_assignment()
+        pool: Dict[Tuple[int, ...], ScheduleCandidate] = {}
+        pool[greedy] = ScheduleCandidate(
+            rank=0,
+            schedule=self._to_schedule(greedy),
+            predicted_latency_s=self._latency(greedy),
+            gapness_s=self._gapness(greedy),
+        )
+        for candidate in partial:
+            key = tuple(
+                self.pu_classes.index(pu)
+                for pu in candidate.schedule.assignments
+            )
+            pool.setdefault(key, candidate)
+        candidates = sorted(
+            pool.values(),
+            key=lambda c: (c.predicted_latency_s, c.gapness_s),
+        )
+        candidates = [
+            ScheduleCandidate(
+                rank=rank, schedule=c.schedule,
+                predicted_latency_s=c.predicted_latency_s,
+                gapness_s=c.gapness_s,
+            )
+            for rank, c in enumerate(candidates)
+        ]
+        return OptimizationResult(
+            application=self.application.name,
+            platform=self.table.platform,
+            candidates=candidates,
+            gap_threshold_s=max(c.gapness_s for c in candidates),
+            utilization_optimum=None,
+            solver_invocations=self.solver_invocations,
+            solver_wall_s=self.solver_wall_s,
+            degraded=True,
+        )
+
+    # ------------------------------------------------------------------
     # Level 2: latency, K diverse candidates via blocking clauses
     # ------------------------------------------------------------------
     def optimize(self) -> OptimizationResult:
-        """Run levels 1 and 2; candidates sorted by predicted latency."""
+        """Run levels 1 and 2; candidates sorted by predicted latency.
+
+        With a ``time_budget_s`` (or ``max_decisions``), budget expiry
+        degrades to :meth:`greedy_assignment` instead of raising; the
+        result is flagged ``degraded``.  Every produced candidate is
+        validated (C1/C2/C3/availability) before it is returned.
+        """
+        self._deadline = (
+            None if self.time_budget_s is None
+            else time.perf_counter() + self.time_budget_s
+        )
+        partial: List[ScheduleCandidate] = []
+        try:
+            result = self._optimize_exact(partial)
+        except SolverTimeoutError:
+            result = self._degraded_result(partial)
+        finally:
+            self._deadline = None
+        for candidate in result.candidates:
+            validate_schedule(
+                candidate.schedule,
+                self.application,
+                table=self.table,
+                available_pus=self.pu_classes,
+                # The greedy fallback cannot honour the chunk bounds.
+                max_chunk_time_s=(
+                    None if result.degraded else self.max_chunk_time_s
+                ),
+                min_chunk_time_s=(
+                    None if result.degraded else self.min_chunk_time_s
+                ),
+            )
+        return result
+
+    def _optimize_exact(
+        self, partial: List[ScheduleCandidate]
+    ) -> OptimizationResult:
+        """The solver-backed levels 1 + 2; appends each candidate to
+        ``partial`` as found so a budget expiry can salvage them."""
         utilization = self.optimize_utilization()
         threshold = (
             utilization.gapness_s
@@ -326,7 +466,7 @@ class BTOptimizer:
                 return math.inf
             return self._latency(assignment)
 
-        candidates: List[ScheduleCandidate] = []
+        candidates = partial  # shared so budget expiry can salvage them
         latency_bound = self._latency_lower_bound(x)
         # Phase 2a enumerates within the utilization threshold; when the
         # filtered space runs dry before K candidates exist (small
@@ -335,7 +475,7 @@ class BTOptimizer:
         # filter so autotuning still sees K diverse options.
         objective = filtered_objective
         for rank in range(self.k):
-            solver = Solver(model)
+            solver = self._make_solver(model)
             result = solver.minimize(objective, lower_bound=latency_bound)
             self.solver_invocations += 1
             self.solver_wall_s += solver.stats.wall_seconds
@@ -344,7 +484,7 @@ class BTOptimizer:
                 if objective is unfiltered_objective:
                     break  # blocking clauses truly exhausted the space
                 objective = unfiltered_objective
-                solver = Solver(model)
+                solver = self._make_solver(model)
                 result = solver.minimize(
                     objective, lower_bound=latency_bound
                 )

@@ -184,6 +184,22 @@ class BTProfiler:
         )
 
     # ------------------------------------------------------------------
+    def measure_cell(self, application: Application, stage_name: str,
+                     pu_class: str, mode: str) -> Tuple[float, float]:
+        """Measure one (stage, PU, mode) cell: ``(mean, stddev)``.
+
+        The unit of work the checkpoint/resume machinery persists
+        (:mod:`repro.core.session`): each cell's measurement RNG is
+        keyed by its coordinates alone, so cells can be collected - or
+        re-collected after a crash - in any order and still reproduce
+        the uninterrupted table bit for bit.
+        """
+        if mode not in MODES:
+            raise ProfilingError(
+                f"unknown profiling mode {mode!r}; expected one of {MODES}"
+            )
+        return self._measure_stage(application, stage_name, pu_class, mode)
+
     def _measure_stage(self, application: Application, stage_name: str,
                        pu_class: str, mode: str) -> Tuple[float, float]:
         stage = application.stage(stage_name)

@@ -11,11 +11,11 @@ the *gapness* ``T_max - T_min`` (objective O1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.profiler import ProfilingTable
 from repro.core.stage import Application, Chunk
-from repro.errors import SchedulingError
+from repro.errors import ScheduleValidationError, SchedulingError
 
 
 @dataclass(frozen=True)
@@ -159,6 +159,113 @@ class Schedule:
 
     def __str__(self) -> str:
         return "-".join(self.assignments)
+
+
+def validate_schedule(
+    schedule: Union["Schedule", Sequence[str]],
+    application: Optional[Application] = None,
+    table: Optional[ProfilingTable] = None,
+    available_pus: Optional[Iterable[str]] = None,
+    max_chunk_time_s: Optional[float] = None,
+    min_chunk_time_s: Optional[float] = None,
+) -> "Schedule":
+    """Check a schedule against the model constraints before deployment.
+
+    Accepts either a :class:`Schedule` or a raw assignment sequence (so
+    hand-crafted or deserialized assignments can be vetted *before* the
+    ``Schedule`` constructor is trusted with them).  Each violated rule
+    raises a distinct :class:`~repro.errors.ScheduleValidationError`
+    whose ``constraint`` attribute names it:
+
+    * ``C1`` - every stage carries exactly one PU class (non-empty
+      assignment, one entry per application stage);
+    * ``C2`` - stages on one PU form a single contiguous chunk;
+    * ``C3a`` / ``C3b`` - per-chunk predicted runtime within the upper /
+      lower bound (requires ``application`` and ``table``);
+    * ``availability`` - only PUs from ``available_pus`` are used.
+
+    Returns:
+        The validated :class:`Schedule` (constructed when raw
+        assignments were passed).
+    """
+    assignments = tuple(
+        schedule.assignments if isinstance(schedule, Schedule)
+        else schedule
+    )
+    # C1: exactly one PU class per stage.
+    if not assignments:
+        raise ScheduleValidationError(
+            "C1", "schedule assigns no stages"
+        )
+    for index, pu_class in enumerate(assignments):
+        if not isinstance(pu_class, str) or not pu_class:
+            raise ScheduleValidationError(
+                "C1",
+                f"stage {index} has no PU class (got {pu_class!r})"
+            )
+    if (
+        application is not None
+        and len(assignments) != application.num_stages
+    ):
+        raise ScheduleValidationError(
+            "C1",
+            f"schedule assigns {len(assignments)} stages, application "
+            f"{application.name!r} has {application.num_stages}"
+        )
+    # C2: contiguity.
+    seen: List[str] = []
+    for pu_class in assignments:
+        if seen and seen[-1] == pu_class:
+            continue
+        if pu_class in seen:
+            raise ScheduleValidationError(
+                "C2",
+                f"PU class {pu_class!r} appears in two separate chunks "
+                f"in {assignments}"
+            )
+        seen.append(pu_class)
+    # PU availability (dead PUs, unpinnable clusters, foreign platforms).
+    if available_pus is not None:
+        unavailable = sorted(set(assignments) - set(available_pus))
+        if unavailable:
+            raise ScheduleValidationError(
+                "availability",
+                f"schedule uses unavailable PU classes {unavailable}"
+            )
+    validated = (
+        schedule if isinstance(schedule, Schedule)
+        else Schedule.from_assignments(assignments)
+    )
+    # C3a / C3b: per-chunk runtime bounds, from the profiling table.
+    if (max_chunk_time_s is not None or min_chunk_time_s is not None):
+        if application is None or table is None:
+            raise SchedulingError(
+                "per-chunk bound checks (C3) need an application and a "
+                "profiling table"
+            )
+        times = validated.chunk_times(application, table)
+        for chunk, runtime in times.items():
+            if (
+                max_chunk_time_s is not None
+                and runtime > max_chunk_time_s + 1e-12
+            ):
+                raise ScheduleValidationError(
+                    "C3a",
+                    f"chunk {chunk.pu_class!r} (stages "
+                    f"{chunk.start}-{chunk.stop - 1}) runs "
+                    f"{runtime:.6f}s > max {max_chunk_time_s:.6f}s"
+                )
+            if (
+                min_chunk_time_s is not None
+                and runtime < min_chunk_time_s - 1e-12
+            ):
+                raise ScheduleValidationError(
+                    "C3b",
+                    f"chunk {chunk.pu_class!r} (stages "
+                    f"{chunk.start}-{chunk.stop - 1}) runs "
+                    f"{runtime:.6f}s < min {min_chunk_time_s:.6f}s"
+                )
+    return validated
 
 
 def enumerate_schedules(num_stages: int,

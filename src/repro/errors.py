@@ -32,12 +32,31 @@ class PlatformError(ReproError):
     """Raised for invalid platform specifications or unknown platforms."""
 
 
+class CampaignError(ReproError):
+    """Raised when a checkpointed campaign session cannot proceed
+    (mismatched manifest, incompatible resume parameters...)."""
+
+
 class KernelError(ReproError):
     """Raised when a compute kernel is misused (bad shapes, backends...)."""
 
 
 class SchedulingError(ReproError):
     """Raised when a schedule is malformed or cannot be constructed."""
+
+
+class ScheduleValidationError(SchedulingError):
+    """A schedule violates one of the model constraints (C1, C2, C3a,
+    C3b) or references an unavailable PU class.
+
+    ``constraint`` names the violated rule (``"C1"``, ``"C2"``,
+    ``"C3a"``, ``"C3b"`` or ``"availability"``) so callers - and tests -
+    can tell the failure modes apart without parsing the message.
+    """
+
+    def __init__(self, constraint: str, message: str):
+        super().__init__(f"[{constraint}] {message}")
+        self.constraint = constraint
 
 
 class ProfilingError(ReproError):
@@ -50,6 +69,16 @@ class PipelineError(ReproError):
 
 class QueueClosedError(PipelineError):
     """Raised when pushing to / popping from a closed SPSC queue."""
+
+
+class StallError(PipelineError):
+    """A dispatch exceeded the watchdog's stall deadline and was
+    cancelled.
+
+    Deliberately *not* retryable: retrying a wedged kernel stalls
+    again, so the runtime routes the task straight into quarantine
+    (or unwinds when failure isolation is off).
+    """
 
 
 class TransientKernelFault(PipelineError):

@@ -42,6 +42,7 @@ from repro.runtime.spsc import SpscQueue
 from repro.runtime.trace import Span, format_gantt, pipeline_bubbles
 from repro.runtime.task_object import TaskObject
 from repro.runtime.usm import UsmBuffer
+from repro.runtime.watchdog import Heartbeat, Watchdog, WatchdogConfig
 
 __all__ = [
     "AdaptivePipeline",
@@ -49,6 +50,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultReport",
+    "Heartbeat",
     "KernelFaultSpec",
     "MemoryReport",
     "PuDropoutSpec",
@@ -63,6 +65,8 @@ __all__ = [
     "ThreadedPipelineExecutor",
     "ThreadedRunResult",
     "UsmBuffer",
+    "Watchdog",
+    "WatchdogConfig",
     "WindowRecord",
     "estimate_pipeline_memory",
     "format_gantt",

@@ -43,6 +43,9 @@ RETRY = "retry"
 RECOVERY = "recovery"
 QUARANTINE = "quarantine"
 FALLBACK = "fallback"
+# Recorded by the watchdog (repro.runtime.watchdog), not the injector.
+STALL = "stall"
+DEADLINE_OVERRUN = "deadline-overrun"
 
 #: TaskObject constant under which a quarantined task carries its failure.
 _QUARANTINE_KEY = "fault_quarantine"
@@ -298,8 +301,9 @@ class FaultReport:
         if not counts and not self.failures:
             lines.append("  no faults injected, no recovery needed")
             return "\n".join(lines)
-        for kind in (KERNEL_FAULT, SLOWDOWN, PU_DROPOUT, RETRY,
-                     RECOVERY, QUARANTINE, FALLBACK):
+        for kind in (KERNEL_FAULT, SLOWDOWN, PU_DROPOUT, STALL,
+                     DEADLINE_OVERRUN, RETRY, RECOVERY, QUARANTINE,
+                     FALLBACK):
             if counts.get(kind):
                 lines.append(f"  {kind:>12}: {counts[kind]}")
         for event in self.events:

@@ -25,7 +25,12 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.core.stage import Application, Chunk
-from repro.errors import PipelineError, PuFailureError, QueueClosedError
+from repro.errors import (
+    PipelineError,
+    PuFailureError,
+    QueueClosedError,
+    StallError,
+)
 from repro.runtime.faults import (
     RECOVERY,
     RETRY,
@@ -40,6 +45,7 @@ from repro.runtime.faults import (
 )
 from repro.runtime.spsc import SpscQueue
 from repro.runtime.task_object import TaskObject
+from repro.runtime.watchdog import Heartbeat, Watchdog, WatchdogConfig
 
 #: Sentinel flowing through the queues to shut dispatchers down.
 _POISON = object()
@@ -66,6 +72,9 @@ class ThreadedRunResult:
     completed: int = 0
     failures: List[TaskFailure] = field(default_factory=list)
     fault_events: Sequence[FaultEvent] = ()
+    #: Stall / deadline-overrun events the watchdog recorded (also
+    #: mirrored into the fault injector's log when one is attached).
+    watchdog_events: Sequence[FaultEvent] = ()
 
     @property
     def failed_task_ids(self) -> List[int]:
@@ -86,7 +95,8 @@ class _Dispatcher(threading.Thread):
                  queue_timeout_s: float = _QUEUE_TIMEOUT_S,
                  fault_injector: Optional[FaultInjector] = None,
                  retry_policy: Optional[RetryPolicy] = None,
-                 isolate_failures: bool = False):
+                 isolate_failures: bool = False,
+                 heartbeat: Optional[Heartbeat] = None):
         super().__init__(name=f"dispatch-{chunk_index}-{chunk.pu_class}",
                          daemon=True)
         self.chunk_index = chunk_index
@@ -99,6 +109,10 @@ class _Dispatcher(threading.Thread):
         self.injector = fault_injector
         self.retry_policy = retry_policy
         self.isolate_failures = isolate_failures
+        self.heartbeat = heartbeat
+        # Watchdog-cancellable sleep when supervised, plain otherwise;
+        # used for injected slowdowns and retry backoff alike.
+        self._sleep = heartbeat.sleep if heartbeat is not None else time.sleep
         self.stages_executed = 0
         self.error: Optional[BaseException] = None
 
@@ -130,10 +144,18 @@ class _Dispatcher(threading.Thread):
         if task_failure(task) is not None:
             return  # quarantined upstream: pass through untouched
         task_id = task.constant("task_index")
-        task.synchronize_for(self.chunk.pu_class)
-        for index in self.chunk.stage_indices:
-            if not self._dispatch_stage(index, task, task_id):
-                return  # task just got quarantined; skip its remainder
+        if self.heartbeat is not None:
+            self.heartbeat.start_task(task_id)
+        try:
+            task.synchronize_for(self.chunk.pu_class)
+            for index in self.chunk.stage_indices:
+                if self.heartbeat is not None:
+                    self.heartbeat.start_stage(index)
+                if not self._dispatch_stage(index, task, task_id):
+                    return  # task quarantined; skip its remainder
+        finally:
+            if self.heartbeat is not None:
+                self.heartbeat.idle()
 
     def _dispatch_stage(self, index: int, task: TaskObject,
                         task_id: int) -> bool:
@@ -152,11 +174,22 @@ class _Dispatcher(threading.Thread):
                 if self.injector is not None:
                     self.injector.before_kernel(
                         self.chunk.pu_class, index, task_id,
-                        attempt=failures,
+                        attempt=failures, sleep=self._sleep,
                     )
                 kernel(task)
             except PuFailureError:
                 raise  # permanent: retrying on a dead PU is pointless
+            except StallError as exc:
+                # The watchdog cancelled this dispatch.  Never retried:
+                # a wedged kernel only wedges again.  Clear the cancel
+                # so the next task starts fresh, then quarantine (or
+                # unwind when failure isolation is off).
+                if self.heartbeat is not None:
+                    self.heartbeat.cancel.clear()
+                if self.isolate_failures:
+                    return self._quarantine(task, task_id, index,
+                                            failures + 1, exc)
+                raise
             except Exception as exc:
                 failures += 1
                 backoff = (self.retry_policy.backoff_s(failures)
@@ -167,21 +200,20 @@ class _Dispatcher(threading.Thread):
                             RETRY, self.chunk.pu_class, index, task_id,
                             attempt=failures, detail=repr(exc),
                         )
-                    time.sleep(backoff)
+                    try:
+                        self._sleep(backoff)
+                    except StallError as stall:
+                        if self.heartbeat is not None:
+                            self.heartbeat.cancel.clear()
+                        if self.isolate_failures:
+                            return self._quarantine(
+                                task, task_id, index, failures, stall
+                            )
+                        raise
                     continue
                 if self.isolate_failures:
-                    failure = TaskFailure(
-                        task_id=task_id, chunk_index=self.chunk_index,
-                        stage_index=index,
-                        pu_class=self.chunk.pu_class, error=repr(exc),
-                    )
-                    quarantine_task(task, failure)
-                    if self.injector is not None:
-                        self.injector.record(
-                            QUARANTINE, self.chunk.pu_class, index,
-                            task_id, attempt=failures, detail=repr(exc),
-                        )
-                    return False
+                    return self._quarantine(task, task_id, index,
+                                            failures, exc)
                 raise
             else:
                 self.stages_executed += 1
@@ -191,6 +223,22 @@ class _Dispatcher(threading.Thread):
                         attempt=failures,
                     )
                 return True
+
+    def _quarantine(self, task: TaskObject, task_id: int, index: int,
+                    attempt: int, exc: BaseException) -> bool:
+        """Poison the task so it passes through downstream chunks."""
+        failure = TaskFailure(
+            task_id=task_id, chunk_index=self.chunk_index,
+            stage_index=index, pu_class=self.chunk.pu_class,
+            error=repr(exc),
+        )
+        quarantine_task(task, failure)
+        if self.injector is not None:
+            self.injector.record(
+                QUARANTINE, self.chunk.pu_class, index, task_id,
+                attempt=attempt, detail=repr(exc),
+            )
+        return False
 
 
 class ThreadedPipelineExecutor:
@@ -214,6 +262,11 @@ class ThreadedPipelineExecutor:
             instead of unwinding the whole pipeline.
         queue_timeout_s: Per-operation queue timeout; a wedged pipeline
             fails with ``TimeoutError`` instead of hanging.
+        watchdog: Optional supervision thresholds; when set, a
+            :class:`~repro.runtime.watchdog.Watchdog` thread monitors
+            every dispatcher's heartbeat, logs per-chunk deadline
+            overruns and cancels stalled dispatches (which are then
+            quarantined or unwound like any other failure).
     """
 
     def __init__(
@@ -226,6 +279,7 @@ class ThreadedPipelineExecutor:
         retry_policy: Optional[RetryPolicy] = None,
         isolate_failures: bool = False,
         queue_timeout_s: float = _QUEUE_TIMEOUT_S,
+        watchdog: Optional[WatchdogConfig] = None,
     ):
         _check_chunk_cover(application, chunks)
         if application.make_task is None:
@@ -248,6 +302,7 @@ class ThreadedPipelineExecutor:
         if queue_timeout_s <= 0:
             raise PipelineError("queue_timeout_s must be > 0")
         self.queue_timeout_s = queue_timeout_s
+        self.watchdog_config = watchdog
 
     def run(
         self,
@@ -270,6 +325,15 @@ class ThreadedPipelineExecutor:
             SpscQueue(capacity=self.depth + 1)
             for _ in range(len(self.chunks) + 1)
         ]
+        heartbeats: Optional[List[Heartbeat]] = None
+        watchdog: Optional[Watchdog] = None
+        if self.watchdog_config is not None:
+            heartbeats = [
+                Heartbeat(i, chunk.pu_class)
+                for i, chunk in enumerate(self.chunks)
+            ]
+            watchdog = Watchdog(heartbeats, self.watchdog_config,
+                                injector=self.fault_injector)
         dispatchers = [
             _Dispatcher(
                 chunk_index=i,
@@ -282,10 +346,13 @@ class ThreadedPipelineExecutor:
                 fault_injector=self.fault_injector,
                 retry_policy=self.retry_policy,
                 isolate_failures=self.isolate_failures,
+                heartbeat=heartbeats[i] if heartbeats is not None else None,
             )
             for i, chunk in enumerate(self.chunks)
         ]
         start = time.perf_counter()
+        if watchdog is not None:
+            watchdog.start()
         for dispatcher in dispatchers:
             dispatcher.start()
 
@@ -336,6 +403,11 @@ class ThreadedPipelineExecutor:
                 queue.close()
         for dispatcher in dispatchers:
             dispatcher.join(timeout=self.queue_timeout_s)
+        if watchdog is not None:
+            # Stop only after the dispatchers joined: a dispatcher still
+            # blocked in a cancellable sleep needs the supervisor alive
+            # to cancel it.
+            watchdog.stop()
         for dispatcher in dispatchers:
             if dispatcher.error is not None:
                 raise PipelineError(
@@ -362,6 +434,8 @@ class ThreadedPipelineExecutor:
             failures=failures,
             fault_events=(self.fault_injector.events
                           if self.fault_injector is not None else ()),
+            watchdog_events=(tuple(watchdog.events)
+                             if watchdog is not None else ()),
         )
 
     # ------------------------------------------------------------------

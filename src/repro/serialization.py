@@ -10,14 +10,22 @@ data products through plain JSON:
 * :class:`~repro.core.optimizer.OptimizationResult` - the candidate log
   (enough to resume an autotuning campaign on-device).
 
-All dumps carry a ``kind`` and ``version`` tag; loads validate both.
+All dumps carry a ``kind`` and ``version`` tag plus a SHA-256 checksum
+over the payload; loads validate all three.  Writes are atomic (tmp +
+fsync + rename) so a crash mid-write never leaves a truncated artifact
+behind - the checkpoint/resume machinery in :mod:`repro.core.session`
+depends on both properties to tell "cell never written" from "cell
+written and trustworthy".
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
+import tempfile
 from pathlib import Path
-from typing import Any, Dict, Union
+from typing import Any, Dict, Optional, Union
 
 from repro.core.optimizer import OptimizationResult, ScheduleCandidate
 from repro.core.profiler import ProfilingTable
@@ -26,6 +34,9 @@ from repro.errors import ReproError
 
 FORMAT_VERSION = 1
 
+#: Key under which the payload checksum is stored in every artifact.
+CHECKSUM_KEY = "sha256"
+
 PathLike = Union[str, Path]
 
 
@@ -33,21 +44,100 @@ class SerializationError(ReproError):
     """Raised for malformed or mismatched persisted artifacts."""
 
 
+def _where(path: Optional[PathLike]) -> str:
+    return f"{path}: " if path is not None else ""
+
+
 def _tagged(kind: str, payload: Dict[str, Any]) -> Dict[str, Any]:
     return {"kind": kind, "version": FORMAT_VERSION, **payload}
 
 
-def _check_tag(data: Dict[str, Any], kind: str) -> None:
+def _check_tag(data: Dict[str, Any], kind: str,
+               path: Optional[PathLike] = None) -> None:
     if not isinstance(data, dict):
-        raise SerializationError(f"expected a JSON object for {kind}")
+        raise SerializationError(
+            f"{_where(path)}expected a JSON object for {kind}"
+        )
     if data.get("kind") != kind:
         raise SerializationError(
-            f"expected kind {kind!r}, got {data.get('kind')!r}"
+            f"{_where(path)}expected kind {kind!r}, "
+            f"found {data.get('kind')!r}"
         )
     if data.get("version") != FORMAT_VERSION:
         raise SerializationError(
-            f"unsupported {kind} version {data.get('version')!r}"
+            f"{_where(path)}expected {kind} version {FORMAT_VERSION}, "
+            f"found {data.get('version')!r}"
         )
+
+
+# ----------------------------------------------------------------------
+# Atomic, checksummed file primitives
+# ----------------------------------------------------------------------
+def artifact_sha256(data: Dict[str, Any]) -> str:
+    """Checksum of an artifact dict (the ``sha256`` key excluded)."""
+    body = {k: v for k, v in data.items() if k != CHECKSUM_KEY}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def atomic_write_text(path: PathLike, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp + fsync + rename).
+
+    Readers either see the previous complete file or the new complete
+    file - never a truncated in-between, even across a crash or SIGKILL
+    mid-write.
+    """
+    target = Path(path)
+    fd, tmp_name = tempfile.mkstemp(
+        prefix=f".{target.name}.", suffix=".tmp", dir=str(target.parent)
+    )
+    try:
+        with os.fdopen(fd, "w") as handle:
+            handle.write(text)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp_name, target)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def write_artifact(path: PathLike, kind: str,
+                   payload: Dict[str, Any]) -> None:
+    """Persist a tagged, checksummed JSON artifact atomically."""
+    data = _tagged(kind, payload)
+    data[CHECKSUM_KEY] = artifact_sha256(data)
+    atomic_write_text(path, json.dumps(data, indent=2))
+
+
+def read_artifact(path: PathLike,
+                  kind: Optional[str] = None) -> Dict[str, Any]:
+    """Read a tagged artifact, verifying checksum (and ``kind`` if given).
+
+    Raises:
+        SerializationError: Unreadable or truncated file, checksum
+            mismatch, or tag mismatch - always naming ``path``.
+    """
+    try:
+        data = json.loads(Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SerializationError(f"cannot read {path}: {exc}") from exc
+    if not isinstance(data, dict) or "kind" not in data:
+        raise SerializationError(f"{path} is not a tagged artifact")
+    stored = data.get(CHECKSUM_KEY)
+    if stored is not None:
+        expected = artifact_sha256(data)
+        if stored != expected:
+            raise SerializationError(
+                f"{path}: checksum mismatch - expected {expected}, "
+                f"found {stored} (artifact corrupted?)"
+            )
+    if kind is not None:
+        _check_tag(data, kind, path=path)
+    return data
 
 
 # ----------------------------------------------------------------------
@@ -72,9 +162,11 @@ def profiling_table_to_dict(table: ProfilingTable) -> Dict[str, Any]:
     })
 
 
-def profiling_table_from_dict(data: Dict[str, Any]) -> ProfilingTable:
+def profiling_table_from_dict(
+    data: Dict[str, Any], path: Optional[PathLike] = None,
+) -> ProfilingTable:
     """Rebuild a profiling table from its tagged dict form."""
-    _check_tag(data, "profiling_table")
+    _check_tag(data, "profiling_table", path=path)
     try:
         stage_names = tuple(data["stage_names"])
         pu_classes = tuple(data["pu_classes"])
@@ -102,7 +194,9 @@ def profiling_table_from_dict(data: Dict[str, Any]) -> ProfilingTable:
             stddevs=stddevs,
         )
     except (KeyError, IndexError, TypeError, ValueError) as exc:
-        raise SerializationError(f"malformed profiling table: {exc}") from exc
+        raise SerializationError(
+            f"{_where(path)}malformed profiling table: {exc}"
+        ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -113,13 +207,17 @@ def schedule_to_dict(schedule: Schedule) -> Dict[str, Any]:
     return _tagged("schedule", {"assignments": list(schedule.assignments)})
 
 
-def schedule_from_dict(data: Dict[str, Any]) -> Schedule:
+def schedule_from_dict(
+    data: Dict[str, Any], path: Optional[PathLike] = None,
+) -> Schedule:
     """Rebuild a schedule (contiguity re-validated on load)."""
-    _check_tag(data, "schedule")
+    _check_tag(data, "schedule", path=path)
     try:
         return Schedule.from_assignments(data["assignments"])
     except KeyError as exc:
-        raise SerializationError("schedule missing assignments") from exc
+        raise SerializationError(
+            f"{_where(path)}schedule missing assignments"
+        ) from exc
 
 
 # ----------------------------------------------------------------------
@@ -141,6 +239,7 @@ def optimization_to_dict(result: OptimizationResult) -> Dict[str, Any]:
         "gap_threshold_s": result.gap_threshold_s,
         "solver_invocations": result.solver_invocations,
         "solver_wall_s": result.solver_wall_s,
+        "degraded": result.degraded,
         "utilization_optimum": (
             candidate(result.utilization_optimum)
             if result.utilization_optimum is not None else None
@@ -149,9 +248,11 @@ def optimization_to_dict(result: OptimizationResult) -> Dict[str, Any]:
     })
 
 
-def optimization_from_dict(data: Dict[str, Any]) -> OptimizationResult:
+def optimization_from_dict(
+    data: Dict[str, Any], path: Optional[PathLike] = None,
+) -> OptimizationResult:
     """Rebuild an optimization result from its tagged dict form."""
-    _check_tag(data, "optimization_result")
+    _check_tag(data, "optimization_result", path=path)
 
     def candidate(entry: Dict[str, Any]) -> ScheduleCandidate:
         return ScheduleCandidate(
@@ -173,10 +274,11 @@ def optimization_from_dict(data: Dict[str, Any]) -> OptimizationResult:
             ),
             solver_invocations=int(data.get("solver_invocations", 0)),
             solver_wall_s=float(data.get("solver_wall_s", 0.0)),
+            degraded=bool(data.get("degraded", False)),
         )
     except (KeyError, TypeError, ValueError) as exc:
         raise SerializationError(
-            f"malformed optimization result: {exc}"
+            f"{_where(path)}malformed optimization result: {exc}"
         ) from exc
 
 
@@ -196,24 +298,28 @@ _LOADERS = {
 
 
 def save(obj, path: PathLike) -> None:
-    """Persist a supported artifact as JSON."""
+    """Persist a supported artifact as checksummed JSON, atomically."""
     dumper = _DUMPERS.get(type(obj))
     if dumper is None:
         raise SerializationError(
             f"cannot serialize {type(obj).__name__}"
         )
-    Path(path).write_text(json.dumps(dumper(obj), indent=2))
+    data = dumper(obj)
+    data[CHECKSUM_KEY] = artifact_sha256(data)
+    atomic_write_text(path, json.dumps(data, indent=2))
 
 
 def load(path: PathLike):
-    """Load any supported artifact (dispatches on its ``kind`` tag)."""
-    try:
-        data = json.loads(Path(path).read_text())
-    except (OSError, json.JSONDecodeError) as exc:
-        raise SerializationError(f"cannot read {path}: {exc}") from exc
-    if not isinstance(data, dict) or "kind" not in data:
-        raise SerializationError(f"{path} is not a tagged artifact")
+    """Load any supported artifact (dispatches on its ``kind`` tag).
+
+    The payload checksum, when present, is verified before the artifact
+    is rebuilt; artifacts written by older versions (no ``sha256`` key)
+    still load.
+    """
+    data = read_artifact(path)
     loader = _LOADERS.get(data["kind"])
     if loader is None:
-        raise SerializationError(f"unknown artifact kind {data['kind']!r}")
-    return loader(data)
+        raise SerializationError(
+            f"{path}: unknown artifact kind {data['kind']!r}"
+        )
+    return loader(data, path=path)

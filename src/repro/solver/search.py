@@ -53,9 +53,14 @@ class SolverStats:
 class Solver:
     """Search engine over a :class:`repro.solver.model.Model`."""
 
-    def __init__(self, model: Model, max_decisions: Optional[int] = None):
+    def __init__(self, model: Model, max_decisions: Optional[int] = None,
+                 time_budget_s: Optional[float] = None):
+        if time_budget_s is not None and time_budget_s <= 0:
+            raise ValueError("time_budget_s must be > 0")
         self.model = model
         self.max_decisions = max_decisions
+        self.time_budget_s = time_budget_s
+        self._deadline: Optional[float] = None
         self.stats = SolverStats()
         self._watchers: Dict[int, List[Constraint]] = {
             var.index: [] for var in model.variables
@@ -114,6 +119,13 @@ class Solver:
         by_name = {var.name: var.index for var in self.model.variables}
         return Solution({i: v for i, v in enumerate(values)}, by_name)
 
+    def _arm_deadline(self, start: float) -> None:
+        """Fix the wall-clock deadline for one entry-point invocation."""
+        self._deadline = (
+            None if self.time_budget_s is None
+            else start + self.time_budget_s
+        )
+
     def _check_budget(self) -> None:
         if (
             self.max_decisions is not None
@@ -121,6 +133,13 @@ class Solver:
         ):
             raise SolverTimeoutError(
                 f"decision budget exhausted ({self.max_decisions})"
+            )
+        if (
+            self._deadline is not None
+            and time.perf_counter() > self._deadline
+        ):
+            raise SolverTimeoutError(
+                f"wall-clock budget exhausted ({self.time_budget_s}s)"
             )
 
     # ------------------------------------------------------------------
@@ -139,6 +158,7 @@ class Solver:
         in index order, value 1 tried before 0).
         """
         start = time.perf_counter()
+        self._arm_deadline(start)
         values = [UNASSIGNED] * self.model.num_variables
         trail: List[int] = []
         if not self._propagate(values, trail, list(self.model.constraints)):
@@ -186,6 +206,7 @@ class Solver:
             is infeasible.
         """
         start = time.perf_counter()
+        self._arm_deadline(start)
         values = [UNASSIGNED] * self.model.num_variables
         trail: List[int] = []
         if not self._propagate(values, trail, list(self.model.constraints)):

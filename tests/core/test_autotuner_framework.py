@@ -123,3 +123,52 @@ class TestFramework:
         ).run(app)
         used = set(plan.schedule.pu_classes_used)
         assert used <= {BIG, GPU}
+
+
+class TestExecutionGateValidation:
+    """No schedule reaches execution without passing validate_schedule."""
+
+    def make_candidate(self, assignments):
+        from repro.core.optimizer import ScheduleCandidate
+
+        return ScheduleCandidate(
+            rank=0, schedule=Schedule.from_assignments(assignments),
+            predicted_latency_s=1.0, gapness_s=0.0,
+        )
+
+    def test_autotuner_rejects_wrong_stage_count(self, pixel, app):
+        from repro.errors import ScheduleValidationError
+
+        tuner = Autotuner(app, pixel, eval_tasks=4)
+        with pytest.raises(ScheduleValidationError) as excinfo:
+            tuner.measure(self.make_candidate([BIG, GPU]))
+        assert excinfo.value.constraint == "C1"
+
+    def test_autotuner_rejects_foreign_pu(self, pixel, app):
+        from repro.errors import ScheduleValidationError
+
+        tuner = Autotuner(app, pixel, eval_tasks=4)
+        assignments = ["npu-imaginary"] * app.num_stages
+        with pytest.raises(ScheduleValidationError) as excinfo:
+            tuner.measure(self.make_candidate(assignments))
+        assert excinfo.value.constraint == "availability"
+
+    def test_deployment_plan_validates_before_execute(self, jetson, app):
+        from dataclasses import replace
+
+        from repro.errors import ScheduleValidationError
+
+        framework = BetterTogether(jetson, repetitions=2, k=3,
+                                   eval_tasks=4)
+        plan = framework.run(app)
+        sabotaged = replace(
+            plan.autotune.entries[0],
+            candidate=self.make_candidate(
+                ["npu-imaginary"] * app.num_stages
+            ),
+        )
+        plan.autotune.entries[0] = sabotaged
+        if plan.autotune.measured_best is not sabotaged:
+            pytest.skip("sabotaged entry is not the measured best")
+        with pytest.raises(ScheduleValidationError):
+            plan.execute(n_tasks=2)

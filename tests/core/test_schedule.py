@@ -6,9 +6,9 @@ from hypothesis import strategies as st
 
 from repro.core import Schedule, Stage
 from repro.core.profiler import ProfilingTable
-from repro.core.schedule import enumerate_schedules
+from repro.core.schedule import enumerate_schedules, validate_schedule
 from repro.core.stage import Application
-from repro.errors import SchedulingError
+from repro.errors import ScheduleValidationError, SchedulingError
 from repro.soc import WorkProfile
 
 
@@ -165,3 +165,122 @@ class TestEnumeration:
     def test_all_unique(self):
         schedules = enumerate_schedules(5, ["a", "b", "c"])
         assert len({s.assignments for s in schedules}) == len(schedules)
+
+
+class TestValidateSchedule:
+    """Each constraint violation raises a distinctly-named error."""
+
+    def check(self, **kwargs):
+        with pytest.raises(ScheduleValidationError) as excinfo:
+            validate_schedule(**kwargs)
+        return excinfo.value
+
+    def test_valid_schedule_passes(self):
+        app = make_app(4)
+        schedule = Schedule.from_assignments(
+            ["big", "big", "gpu", "gpu"]
+        )
+        assert validate_schedule(schedule, app) is schedule
+
+    def test_raw_assignments_are_promoted(self):
+        validated = validate_schedule(["big", "gpu"])
+        assert isinstance(validated, Schedule)
+        assert validated.assignments == ("big", "gpu")
+
+    def test_c1_empty_schedule(self):
+        error = self.check(schedule=[])
+        assert error.constraint == "C1"
+        assert "[C1]" in str(error)
+
+    def test_c1_missing_pu_class(self):
+        error = self.check(schedule=["big", "", "big"])
+        assert error.constraint == "C1"
+        error = self.check(schedule=["big", None, "big"])
+        assert error.constraint == "C1"
+
+    def test_c1_stage_count_mismatch(self):
+        error = self.check(schedule=["big", "gpu"],
+                           application=make_app(4))
+        assert error.constraint == "C1"
+        assert "4" in str(error)
+
+    def test_c2_split_chunk(self):
+        error = self.check(schedule=["big", "gpu", "big"])
+        assert error.constraint == "C2"
+        assert "'big'" in str(error)
+
+    def test_availability_rejects_dead_pu(self):
+        error = self.check(schedule=["big", "gpu"],
+                           available_pus=["big", "little"])
+        assert error.constraint == "availability"
+        assert "gpu" in str(error)
+
+    def test_c3a_chunk_exceeds_upper_bound(self):
+        app = make_app(4)
+        table = make_table(app)
+        schedule = Schedule.from_assignments(
+            ["big", "big", "gpu", "gpu"]
+        )
+        times = schedule.chunk_times(app, table)
+        bound = min(times.values()) + (
+            max(times.values()) - min(times.values())
+        ) / 2
+        error = self.check(schedule=schedule, application=app,
+                           table=table, max_chunk_time_s=bound)
+        assert error.constraint == "C3a"
+        assert "max" in str(error)
+
+    def test_c3b_chunk_below_lower_bound(self):
+        app = make_app(4)
+        table = make_table(app)
+        schedule = Schedule.from_assignments(
+            ["big", "big", "gpu", "gpu"]
+        )
+        times = schedule.chunk_times(app, table)
+        bound = min(times.values()) + (
+            max(times.values()) - min(times.values())
+        ) / 2
+        error = self.check(schedule=schedule, application=app,
+                           table=table, min_chunk_time_s=bound)
+        assert error.constraint == "C3b"
+        assert "min" in str(error)
+
+    def test_all_four_constraints_are_distinct(self):
+        app = make_app(4)
+        table = make_table(app)
+        good = Schedule.from_assignments(["big", "big", "gpu", "gpu"])
+        times = good.chunk_times(app, table)
+        mid = min(times.values()) + (
+            max(times.values()) - min(times.values())
+        ) / 2
+        cases = {
+            "C1": dict(schedule=["big"], application=app),
+            "C2": dict(schedule=["big", "gpu", "big", "gpu"]),
+            "C3a": dict(schedule=good, application=app, table=table,
+                        max_chunk_time_s=mid),
+            "C3b": dict(schedule=good, application=app, table=table,
+                        min_chunk_time_s=mid),
+        }
+        seen = {
+            name: self.check(**kwargs).constraint
+            for name, kwargs in cases.items()
+        }
+        assert seen == {name: name for name in cases}
+
+    def test_c3_bounds_require_table(self):
+        with pytest.raises(SchedulingError, match="profiling table"):
+            validate_schedule(["big", "gpu"], application=make_app(2),
+                              max_chunk_time_s=1.0)
+
+    def test_within_bounds_passes(self):
+        app = make_app(4)
+        table = make_table(app)
+        schedule = Schedule.from_assignments(
+            ["big", "big", "gpu", "gpu"]
+        )
+        times = schedule.chunk_times(app, table)
+        validate_schedule(
+            schedule, app, table,
+            max_chunk_time_s=max(times.values()),
+            min_chunk_time_s=min(times.values()),
+        )

@@ -1,0 +1,238 @@
+"""Tests for watchdog supervision: stall detection, cancellation, recovery.
+
+The acceptance property: a deliberately blocked dispatch (an injected
+stall orders of magnitude longer than the run) is detected within the
+stall timeout, cancelled, and routed through quarantine so the run
+completes - with the stall visible in the FaultReport.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Application, Chunk, Stage
+from repro.errors import PipelineError, StallError
+from repro.runtime import (
+    FaultInjector,
+    FaultPlan,
+    Heartbeat,
+    RetryPolicy,
+    SlowdownSpec,
+    ThreadedPipelineExecutor,
+    Watchdog,
+    WatchdogConfig,
+)
+from repro.runtime.faults import DEADLINE_OVERRUN, STALL, KernelFaultSpec
+from repro.soc import WorkProfile
+
+
+def make_app(n_stages=3):
+    def stage_kernel(index):
+        def kernel(task):
+            trace = task["trace"]
+            trace[index] = trace[index - 1] + 1 if index > 0 else 1
+        return kernel
+
+    work = WorkProfile(flops=1e3, bytes_moved=1e3, parallelism=4.0)
+    stages = [
+        Stage(f"s{i}", work,
+              {"cpu": stage_kernel(i), "gpu": stage_kernel(i)})
+        for i in range(n_stages)
+    ]
+
+    def make_task(seed):
+        return {"trace": np.zeros(n_stages, dtype=np.int64)}
+
+    def validate(task):
+        expected = np.arange(1, n_stages + 1)
+        if not np.array_equal(np.asarray(task["trace"]), expected):
+            raise ValueError(f"bad trace {task['trace']}")
+
+    return Application("counting", stages, make_task=make_task,
+                       validate_task=validate)
+
+
+CHUNKS = [Chunk(0, 1, "cpu"), Chunk(1, 3, "gpu")]
+
+
+class TestWatchdogConfig:
+    def test_thresholds_validated(self):
+        with pytest.raises(PipelineError):
+            WatchdogConfig(stall_timeout_s=0.0)
+        with pytest.raises(PipelineError):
+            WatchdogConfig(stall_timeout_s=1.0, chunk_deadline_s=-1.0)
+        with pytest.raises(PipelineError):
+            WatchdogConfig(stall_timeout_s=1.0, poll_interval_s=0.0)
+
+    def test_deadline_must_not_exceed_stall_timeout(self):
+        with pytest.raises(PipelineError, match="not exceed"):
+            WatchdogConfig(stall_timeout_s=1.0, chunk_deadline_s=2.0)
+
+    def test_default_poll_tracks_tightest_threshold(self):
+        assert WatchdogConfig(stall_timeout_s=0.2).poll_interval_s \
+            == pytest.approx(0.05)
+        assert WatchdogConfig(stall_timeout_s=10.0).poll_interval_s \
+            == 0.1  # clamped
+        assert WatchdogConfig(
+            stall_timeout_s=1.0, chunk_deadline_s=0.2
+        ).poll_interval_s == pytest.approx(0.05)
+
+
+class TestHeartbeat:
+    def test_cancellable_sleep_raises_on_cancel(self):
+        heartbeat = Heartbeat(0, "gpu")
+        heartbeat.start_task(5)
+        assert heartbeat.cancel_if(5)
+        with pytest.raises(StallError):
+            heartbeat.sleep(10.0)
+
+    def test_sleep_without_cancel_just_sleeps(self):
+        heartbeat = Heartbeat(0, "gpu")
+        start = time.perf_counter()
+        heartbeat.sleep(0.01)
+        assert time.perf_counter() - start >= 0.01
+
+    def test_cancel_if_misses_completed_task(self):
+        """The completion race: a task finishing between snapshot and
+        cancel must not poison its successor."""
+        heartbeat = Heartbeat(0, "gpu")
+        heartbeat.start_task(5)
+        heartbeat.idle()  # task 5 completed
+        assert not heartbeat.cancel_if(5)
+        heartbeat.start_task(6)
+        assert not heartbeat.cancel_if(5)  # a different task now
+        heartbeat.check_cancelled()  # no stale cancellation
+
+    def test_start_task_clears_stale_cancel(self):
+        heartbeat = Heartbeat(0, "gpu")
+        heartbeat.start_task(5)
+        heartbeat.cancel_if(5)
+        heartbeat.start_task(6)
+        heartbeat.check_cancelled()  # does not raise
+
+
+class TestScan:
+    """Detection logic driven directly (no threads, no sleeping)."""
+
+    def make(self, **kwargs):
+        heartbeat = Heartbeat(0, "gpu")
+        watchdog = Watchdog([heartbeat], WatchdogConfig(**kwargs))
+        return heartbeat, watchdog
+
+    def test_idle_chunk_never_flagged(self):
+        heartbeat, watchdog = self.make(stall_timeout_s=0.1)
+        watchdog._scan(time.monotonic() + 999.0)
+        assert watchdog.events == []
+
+    def test_stall_detected_and_cancelled_once(self):
+        heartbeat, watchdog = self.make(stall_timeout_s=0.1)
+        heartbeat.start_task(3)
+        now = time.monotonic()
+        watchdog._scan(now + 0.2)
+        watchdog._scan(now + 0.3)  # same stall: not re-reported
+        assert [e.kind for e in watchdog.events] == [STALL]
+        assert watchdog.events[0].task_id == 3
+        assert heartbeat.cancel.is_set()
+        assert watchdog.stall_count == 1
+
+    def test_overrun_logged_without_cancelling(self):
+        heartbeat, watchdog = self.make(stall_timeout_s=10.0,
+                                        chunk_deadline_s=0.1)
+        heartbeat.start_task(3)
+        watchdog._scan(time.monotonic() + 0.2)
+        assert [e.kind for e in watchdog.events] == [DEADLINE_OVERRUN]
+        assert not heartbeat.cancel.is_set()
+
+    def test_events_mirrored_into_injector(self):
+        heartbeat = Heartbeat(0, "gpu")
+        injector = FaultInjector(FaultPlan())
+        watchdog = Watchdog([heartbeat],
+                            WatchdogConfig(stall_timeout_s=0.1),
+                            injector=injector)
+        heartbeat.start_task(3)
+        watchdog._scan(time.monotonic() + 0.2)
+        assert injector.report().count(STALL) == 1
+
+
+class TestStalledRunRecovery:
+    """End-to-end: a blocked dispatch must not hang the pipeline."""
+
+    BLOCK_S = 60.0  # far beyond any sane test runtime
+
+    def blocked_plan(self):
+        return FaultPlan(slowdowns=[SlowdownSpec(
+            task_id=1, stage_index=1, delay_s=self.BLOCK_S,
+            pu_class="gpu",
+        )])
+
+    def test_stall_quarantined_and_run_completes(self):
+        app = make_app()
+        injector = FaultInjector(self.blocked_plan())
+        executor = ThreadedPipelineExecutor(
+            app, CHUNKS, fault_injector=injector, isolate_failures=True,
+            watchdog=WatchdogConfig(stall_timeout_s=0.2,
+                                    chunk_deadline_s=0.1),
+        )
+        start = time.perf_counter()
+        result = executor.run(4, validate=True)
+        wall = time.perf_counter() - start
+        assert wall < self.BLOCK_S / 10  # detected, not waited out
+        assert result.completed == 4
+        assert result.failed_task_ids == [1]
+        kinds = [e.kind for e in result.watchdog_events]
+        assert STALL in kinds and DEADLINE_OVERRUN in kinds
+
+        report = injector.report(result.failures)
+        assert report.count(STALL) == 1
+        assert report.count("quarantine") == 1
+        assert "stall" in report.format()
+
+    def test_stall_unwinds_without_isolation(self):
+        app = make_app()
+        executor = ThreadedPipelineExecutor(
+            app, CHUNKS, fault_injector=FaultInjector(self.blocked_plan()),
+            isolate_failures=False,
+            watchdog=WatchdogConfig(stall_timeout_s=0.2),
+        )
+        with pytest.raises(PipelineError) as excinfo:
+            executor.run(4)
+        assert isinstance(excinfo.value.__cause__, StallError)
+
+    def test_stall_during_retry_backoff_is_caught(self):
+        """A persistent fault's long backoff is also supervised."""
+        app = make_app()
+        plan = FaultPlan(kernel_faults=[KernelFaultSpec(
+            task_id=1, stage_index=1, fail_attempts=None,
+        )])
+        injector = FaultInjector(plan)
+        executor = ThreadedPipelineExecutor(
+            app, CHUNKS, fault_injector=injector, isolate_failures=True,
+            retry_policy=RetryPolicy(max_attempts=100,
+                                     base_backoff_s=self.BLOCK_S,
+                                     max_backoff_s=self.BLOCK_S),
+            watchdog=WatchdogConfig(stall_timeout_s=0.2),
+        )
+        start = time.perf_counter()
+        result = executor.run(3)
+        assert time.perf_counter() - start < self.BLOCK_S / 10
+        assert result.failed_task_ids == [1]
+        assert injector.report().count(STALL) == 1
+
+    def test_unsupervised_run_has_no_watchdog_events(self):
+        app = make_app()
+        result = ThreadedPipelineExecutor(app, CHUNKS).run(3,
+                                                           validate=True)
+        assert result.watchdog_events == ()
+
+    def test_clean_run_under_supervision(self):
+        """A healthy pipeline is untouched by the watchdog."""
+        app = make_app()
+        executor = ThreadedPipelineExecutor(
+            app, CHUNKS,
+            watchdog=WatchdogConfig(stall_timeout_s=5.0),
+        )
+        result = executor.run(6, validate=True)
+        assert result.completed == 6
+        assert result.failures == []
+        assert result.watchdog_events == ()

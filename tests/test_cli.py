@@ -1,5 +1,7 @@
 """Tests for the command-line interface."""
 
+import json
+
 import pytest
 
 from repro.cli import main
@@ -44,13 +46,17 @@ class TestProfile:
         assert table.mode == "isolated"
         assert table.platform == "jetson_orin_nano"
 
-    def test_unknown_platform_exits(self):
-        with pytest.raises(SystemExit):
-            main(["profile", "--platform", "iphone15"])
+    def test_unknown_platform_structured_error(self, capsys):
+        assert main(["profile", "--platform", "iphone15"]) == 1
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "PlatformError"
+        assert "iphone15" in err["message"]
 
-    def test_unknown_app_exits(self):
-        with pytest.raises(SystemExit):
-            main(["profile", "--app", "resnet"])
+    def test_unknown_app_structured_error(self, capsys):
+        assert main(["profile", "--app", "resnet"]) == 1
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "ReproError"
+        assert "resnet" in err["message"]
 
 
 class TestPlan:
@@ -126,6 +132,49 @@ class TestFaultsim:
         assert "0 faults planned" in out
         assert "no faults injected" in out
         assert "dropout phase" not in out
+
+
+class TestRun:
+    ARGS = ["run", "--platform", "jetson_orin_nano", "--app", "octree",
+            "--repetitions", "2", "--k", "3", "--eval-tasks", "4"]
+
+    def test_without_session_behaves_like_plan(self, capsys):
+        assert main(self.ARGS) == 0
+        out = capsys.readouterr().out
+        assert "BetterTogether plan" in out
+        assert "campaign session" not in out
+
+    def test_session_checkpoints_and_resumes(self, capsys, tmp_path):
+        session = tmp_path / "campaign"
+        assert main(self.ARGS + ["--session", str(session)]) == 0
+        first = capsys.readouterr().out
+        assert "0 reused, 14 measured" in first
+        assert (session / "manifest.json").exists()
+        assert (session / "schedule.json").exists()
+
+        assert main(self.ARGS + ["--resume", str(session)]) == 0
+        second = capsys.readouterr().out
+        assert "14 reused, 0 measured" in second
+        assert "optimization: reused" in second
+        assert "3 reused, 0 run" in second
+
+    def test_resume_missing_session_structured_error(self, capsys,
+                                                     tmp_path):
+        code = main(self.ARGS + ["--resume", str(tmp_path / "nope")])
+        assert code == 1
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "CampaignError"
+        assert "no session manifest" in err["message"]
+
+    def test_parameter_mismatch_structured_error(self, capsys, tmp_path):
+        session = tmp_path / "campaign"
+        assert main(self.ARGS + ["--session", str(session)]) == 0
+        capsys.readouterr()
+        changed = [arg if arg != "2" else "3" for arg in self.ARGS]
+        assert main(changed + ["--session", str(session)]) == 1
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "CampaignError"
+        assert "repetitions" in err["message"]
 
 
 class TestParser:

@@ -134,8 +134,8 @@ class TestSolverBudget:
         original = opt_module.Solver
 
         class TinySolver(original):
-            def __init__(self, model, max_decisions=None):
-                super().__init__(model, max_decisions=5)
+            def __init__(self, model, max_decisions=None, **kwargs):
+                super().__init__(model, max_decisions=5, **kwargs)
 
         opt_module.Solver = TinySolver
         try:

@@ -9,8 +9,12 @@ from repro.core.optimizer import BTOptimizer
 from repro.core.profiler import BTProfiler
 from repro.core.schedule import Schedule
 from repro.serialization import (
+    CHECKSUM_KEY,
     SerializationError,
+    artifact_sha256,
+    atomic_write_text,
     load,
+    read_artifact,
     optimization_from_dict,
     optimization_to_dict,
     profiling_table_from_dict,
@@ -155,3 +159,139 @@ class TestFileDispatch:
     def test_unreadable_file_rejected(self, tmp_path):
         with pytest.raises(SerializationError):
             load(tmp_path / "missing.json")
+
+
+class TestAtomicWrite:
+    def test_writes_content(self, tmp_path):
+        path = tmp_path / "out.json"
+        atomic_write_text(path, "hello")
+        assert path.read_text() == "hello"
+
+    def test_replaces_existing_file(self, tmp_path):
+        path = tmp_path / "out.json"
+        path.write_text("old")
+        atomic_write_text(path, "new")
+        assert path.read_text() == "new"
+
+    def test_no_temp_litter_on_success(self, tmp_path):
+        atomic_write_text(tmp_path / "out.json", "x")
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_failed_write_leaves_target_untouched(self, tmp_path):
+        path = tmp_path / "out.json"
+        path.write_text("precious")
+
+        with pytest.raises(TypeError):
+            atomic_write_text(path, object())  # write() rejects non-str
+        assert path.read_text() == "precious"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_save_is_atomic_over_existing_artifact(self, table,
+                                                   tmp_path):
+        path = tmp_path / "t.json"
+        save(table, path)
+        before = path.read_bytes()
+        save(table, path)
+        assert path.read_bytes() == before
+        assert [p.name for p in tmp_path.iterdir()] == ["t.json"]
+
+
+class TestChecksums:
+    def test_saved_artifacts_carry_checksum(self, table, tmp_path):
+        path = tmp_path / "t.json"
+        save(table, path)
+        data = json.loads(path.read_text())
+        assert data[CHECKSUM_KEY] == artifact_sha256(data)
+
+    def test_checksum_ignores_key_order(self, table):
+        data = profiling_table_to_dict(table)
+        shuffled = dict(reversed(list(data.items())))
+        assert artifact_sha256(data) == artifact_sha256(shuffled)
+
+    def test_flipped_checksum_rejected_with_both_values(self, table,
+                                                        tmp_path):
+        path = tmp_path / "t.json"
+        save(table, path)
+        data = json.loads(path.read_text())
+        good = data[CHECKSUM_KEY]
+        bad = ("0" if good[0] != "0" else "1") + good[1:]
+        data[CHECKSUM_KEY] = bad
+        path.write_text(json.dumps(data))
+        with pytest.raises(SerializationError) as excinfo:
+            load(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert f"expected {good}" in message
+        assert f"found {bad}" in message
+
+    def test_tampered_payload_rejected(self, table, tmp_path):
+        path = tmp_path / "t.json"
+        save(table, path)
+        data = json.loads(path.read_text())
+        data["mode"] = "isolated"  # silent flip of a semantic field
+        path.write_text(json.dumps(data))
+        with pytest.raises(SerializationError, match="checksum mismatch"):
+            load(path)
+
+    def test_truncated_file_rejected_with_path(self, table, tmp_path):
+        path = tmp_path / "t.json"
+        save(table, path)
+        path.write_text(path.read_text()[:60])
+        with pytest.raises(SerializationError) as excinfo:
+            load(path)
+        assert str(path) in str(excinfo.value)
+
+    def test_legacy_file_without_checksum_loads(self, table, tmp_path):
+        """Artifacts written before checksumming stay readable."""
+        path = tmp_path / "t.json"
+        data = profiling_table_to_dict(table)
+        assert CHECKSUM_KEY not in data  # dicts are checksum-free
+        path.write_text(json.dumps(data))
+        restored = load(path)
+        assert restored.mode == table.mode
+
+
+class TestErrorMessagesNamePath:
+    def test_wrong_kind_names_path_and_values(self, table, tmp_path):
+        path = tmp_path / "t.json"
+        save(table, path)
+        data = json.loads(path.read_text())
+        data["kind"] = "schedule"
+        del data[CHECKSUM_KEY]
+        path.write_text(json.dumps(data))
+        with pytest.raises(SerializationError) as excinfo:
+            read_artifact(path, kind="profiling_table")
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert "expected kind 'profiling_table'" in message
+        assert "found 'schedule'" in message
+
+    def test_wrong_version_names_both_versions(self, table, tmp_path):
+        path = tmp_path / "t.json"
+        data = profiling_table_to_dict(table)
+        data["version"] = 99
+        path.write_text(json.dumps(data))
+        with pytest.raises(SerializationError) as excinfo:
+            read_artifact(path, kind="profiling_table")
+        assert "version 1" in str(excinfo.value)
+        assert "found 99" in str(excinfo.value)
+
+    def test_missing_file_names_path(self, tmp_path):
+        missing = tmp_path / "gone.json"
+        with pytest.raises(SerializationError) as excinfo:
+            read_artifact(missing)
+        assert str(missing) in str(excinfo.value)
+
+
+class TestDegradedFlagRoundTrip:
+    def test_degraded_survives_round_trip(self, optimization):
+        data = optimization_to_dict(optimization)
+        assert data["degraded"] is False
+        data["degraded"] = True
+        restored = optimization_from_dict(data)
+        assert restored.degraded is True
+
+    def test_legacy_dict_defaults_to_exact(self, optimization):
+        data = optimization_to_dict(optimization)
+        del data["degraded"]
+        assert optimization_from_dict(data).degraded is False
