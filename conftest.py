@@ -7,6 +7,31 @@ The offline environment lacks the ``wheel`` package needed for
 import os
 import sys
 
+import pytest
+
 SRC = os.path.join(os.path.dirname(__file__), "src")
 if SRC not in sys.path:
     sys.path.insert(0, SRC)
+
+
+@pytest.fixture(autouse=True)
+def _repro_check_gate():
+    """Under ``REPRO_CHECK=1`` every test doubles as a concurrency
+    audit: any violation the instrumented runtime records into the
+    *global* log during the test fails it.  Deliberate-violation tests
+    capture into a local log via ``runtime_checks.collecting()`` and so
+    stay exempt.  Without REPRO_CHECK this fixture is a no-op.
+    """
+    from repro.analysis import runtime_checks
+
+    if not runtime_checks.checks_enabled():
+        yield
+        return
+    log = runtime_checks.global_log()
+    before = len(log)
+    yield
+    fresh = log.since(before)
+    assert not fresh, (
+        "concurrency checker recorded violations during this test: "
+        + "; ".join(str(v.to_dict()) for v in fresh)
+    )

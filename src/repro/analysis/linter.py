@@ -1,0 +1,153 @@
+"""Invariant-linter driver: file collection, suppression, reporting.
+
+``python -m repro lint [paths...]`` parses every ``.py`` file under the
+given paths (the installed ``repro`` package by default), runs each
+registered rule from :mod:`repro.analysis.rules` over the AST, filters
+findings through ``# bt-lint: disable=...`` suppression comments, and
+renders the result as text or JSON.  ``--strict`` turns any surviving
+finding into a non-zero exit, which is how CI gates the tree.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.rules import Finding, Rule, all_rules
+from repro.errors import AnalysisError
+
+#: ``# bt-lint: disable=RULE-ID[,RULE-ID...]`` (``ALL`` disables every
+#: rule on that line).
+_SUPPRESS_RE = re.compile(
+    r"#\s*bt-lint:\s*disable=([A-Za-z0-9_\-, ]+)"
+)
+
+
+@dataclass
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    findings: List[Finding] = field(default_factory=list)
+    files_checked: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings
+
+    def to_dict(self) -> Dict:
+        """JSON-serialisable form of the report."""
+        return {
+            "tool": "repro-lint",
+            "files_checked": self.files_checked,
+            "suppressed": self.suppressed,
+            "findings": [f.to_dict() for f in self.findings],
+            "counts": self.counts,
+        }
+
+    @property
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.rule_id] = out.get(finding.rule_id, 0) + 1
+        return out
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Line number (1-based) -> rule ids suppressed on that line."""
+    suppressions: Dict[int, Set[str]] = {}
+    for lineno, line in enumerate(source.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if match is None:
+            continue
+        ids = {part.strip().upper()
+               for part in match.group(1).split(",") if part.strip()}
+        suppressions[lineno] = ids
+    return suppressions
+
+
+def _is_suppressed(finding: Finding,
+                   suppressions: Dict[int, Set[str]]) -> bool:
+    for lineno in (finding.line, finding.line - 1):
+        ids = suppressions.get(lineno)
+        if ids and ("ALL" in ids or finding.rule_id in ids):
+            return True
+    return False
+
+
+def lint_source(
+    source: str, path: str = "<string>",
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one module's source; returns (findings, suppressed_count).
+
+    Raises:
+        AnalysisError: The source does not parse.
+    """
+    try:
+        tree = ast.parse(source, filename=path)
+    except SyntaxError as exc:
+        raise AnalysisError(f"cannot lint {path}: {exc}") from exc
+    suppressions = parse_suppressions(source)
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in (rules if rules is not None else all_rules()):
+        if not rule.applies(path):
+            continue
+        for finding in rule.check(tree, path):
+            if _is_suppressed(finding, suppressions):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings, suppressed
+
+
+def collect_files(paths: Iterable[Path]) -> List[Path]:
+    """Expand files/directories into the sorted list of ``.py`` files.
+
+    Raises:
+        AnalysisError: A path does not exist.
+    """
+    files: List[Path] = []
+    for path in paths:
+        path = Path(path)
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise AnalysisError(f"lint target {path} does not exist")
+    return files
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    rules: Optional[Sequence[Rule]] = None,
+) -> LintReport:
+    """Lint every ``.py`` file under ``paths``."""
+    report = LintReport()
+    for file_path in collect_files(paths):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            raise AnalysisError(
+                f"cannot read {file_path}: {exc}"
+            ) from exc
+        findings, suppressed = lint_source(source, str(file_path),
+                                           rules=rules)
+        report.findings.extend(findings)
+        report.suppressed += suppressed
+        report.files_checked += 1
+    return report
+
+
+def default_lint_target() -> Path:
+    """The installed ``repro`` package directory (the repo baseline)."""
+    return Path(__file__).resolve().parent.parent

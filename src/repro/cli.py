@@ -14,6 +14,8 @@ Commands:
 * ``analyze``                  - affinity spreads, speedup bounds, schedule explanation
 * ``gantt``                    - render the deployed pipeline's Gantt chart
 * ``faultsim``                 - inject faults, exercise recovery, report
+* ``lint``                     - static invariant linter over the tree
+* ``race``                     - dynamic concurrency checker (REPRO_CHECK)
 * ``report``                   - regenerate every paper table/figure
 
 Every command exits non-zero on failure and prints a structured
@@ -45,7 +47,7 @@ from repro.runtime import (
     ThreadedPipelineExecutor,
     format_gantt,
 )
-from repro.serialization import atomic_write_text, save
+from repro.serialization import save, write_json_report
 from repro.soc import PLATFORM_NAMES, get_platform
 from repro.soc.platforms import _BUILDERS as _ALL_PLATFORMS
 
@@ -306,10 +308,52 @@ def cmd_faultsim(args: argparse.Namespace) -> int:
         structured["dropout"] = dropout_report.to_dict()
 
     if args.out:
-        atomic_write_text(args.out,
-                          json.dumps(structured, indent=2) + "\n")
+        write_json_report(args.out, structured)
         print(f"\nstructured report saved to {args.out}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static invariant linter (``--strict`` gates CI)."""
+    from repro.analysis.linter import default_lint_target, lint_paths
+    from repro.analysis.report import (
+        render_lint_json,
+        render_lint_text,
+        render_rule_catalog,
+    )
+
+    if args.list_rules:
+        print(render_rule_catalog())
+        return 0
+    paths = [Path(p) for p in args.paths] or [default_lint_target()]
+    report = lint_paths(paths)
+    if args.format == "json":
+        print(json.dumps(render_lint_json(report), indent=2))
+    else:
+        print(render_lint_text(report))
+    if args.out:
+        write_json_report(args.out, render_lint_json(report))
+        print(f"lint report saved to {args.out}", file=sys.stderr)
+    return 1 if (args.strict and not report.clean) else 0
+
+
+def cmd_race(args: argparse.Namespace) -> int:
+    """Run the dynamic concurrency checker scenarios."""
+    # Imported lazily: repro.analysis.race pulls in repro.runtime,
+    # whose modules import the checker hooks at load time.
+    from repro.analysis.race import run_race
+    from repro.analysis.report import render_race_text
+
+    data, exit_code = run_race(tasks=args.tasks, stages=args.stages,
+                               selftest=args.selftest)
+    if args.format == "json":
+        print(json.dumps(data, indent=2))
+    else:
+        print(render_race_text(data))
+    if args.out:
+        write_json_report(args.out, data)
+        print(f"race report saved to {args.out}", file=sys.stderr)
+    return exit_code
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -417,6 +461,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the PU-dropout phase")
     p.add_argument("--out", help="save the structured report as JSON")
     p.set_defaults(fn=cmd_faultsim)
+
+    p = sub.add_parser("lint",
+                       help="static invariant linter over the tree")
+    p.add_argument("paths", nargs="*", default=[],
+                   help="files/directories to lint (default: the "
+                        "installed repro package)")
+    p.add_argument("--strict", action="store_true",
+                   help="exit non-zero when any finding survives")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("--out", help="save the JSON report to a file")
+    p.set_defaults(fn=cmd_lint)
+
+    p = sub.add_parser("race",
+                       help="dynamic concurrency checker (clean pipeline "
+                            "run; --selftest seeds violations)")
+    p.add_argument("--tasks", type=int, default=8,
+                   help="tasks through the instrumented pipeline")
+    p.add_argument("--stages", type=int, default=4,
+                   help="stages in the counting pipeline")
+    p.add_argument("--selftest", action="store_true",
+                   help="also seed one violation of each kind and "
+                        "verify the checker catches them")
+    p.add_argument("--format", choices=("text", "json"), default="text")
+    p.add_argument("--out", help="save the JSON report to a file")
+    p.set_defaults(fn=cmd_race)
 
     p = sub.add_parser("report",
                        help="regenerate every paper table/figure")

@@ -63,6 +63,12 @@ class ProfilingError(ReproError):
     """Raised when profiling inputs are inconsistent."""
 
 
+class AnalysisError(ReproError):
+    """Raised when the correctness tooling (``repro lint`` /
+    ``repro race``) is misused: missing lint targets, unparseable
+    sources, unknown rule ids."""
+
+
 class PipelineError(ReproError):
     """Raised by the runtime when pipeline execution fails."""
 

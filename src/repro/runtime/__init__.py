@@ -18,6 +18,8 @@ PU-dropout fallback via :class:`AdaptivePipeline`.
 
 from repro.runtime.adaptive import AdaptivePipeline, WindowRecord
 from repro.runtime.faults import (
+    FAILURE_FATAL,
+    FAILURE_TRANSIENT,
     FaultEvent,
     FaultInjector,
     FaultPlan,
@@ -27,6 +29,7 @@ from repro.runtime.faults import (
     RetryPolicy,
     SlowdownSpec,
     TaskFailure,
+    classify_failure,
 )
 from repro.runtime.memory import (
     MemoryReport,
@@ -46,6 +49,8 @@ from repro.runtime.watchdog import Heartbeat, Watchdog, WatchdogConfig
 
 __all__ = [
     "AdaptivePipeline",
+    "FAILURE_FATAL",
+    "FAILURE_TRANSIENT",
     "FaultEvent",
     "FaultInjector",
     "FaultPlan",
@@ -68,6 +73,7 @@ __all__ = [
     "Watchdog",
     "WatchdogConfig",
     "WindowRecord",
+    "classify_failure",
     "estimate_pipeline_memory",
     "format_gantt",
     "max_depth_within",

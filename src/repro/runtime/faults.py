@@ -26,14 +26,19 @@ property the recovery tests assert end to end.
 from __future__ import annotations
 
 import itertools
-import threading
 import time
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.errors import PipelineError, PuFailureError, TransientKernelFault
+from repro.analysis.lock_order import checked_lock
+from repro.errors import (
+    PipelineError,
+    PuFailureError,
+    ReproError,
+    TransientKernelFault,
+)
 
 # Event kinds recorded in the fault log.
 KERNEL_FAULT = "kernel-fault"
@@ -49,6 +54,29 @@ DEADLINE_OVERRUN = "deadline-overrun"
 
 #: TaskObject constant under which a quarantined task carries its failure.
 _QUARANTINE_KEY = "fault_quarantine"
+
+# Failure classes returned by :func:`classify_failure`.
+FAILURE_TRANSIENT = "transient"
+FAILURE_FATAL = "fatal"
+
+
+def classify_failure(exc: BaseException) -> str:
+    """Classify a dispatch failure for the recovery machinery.
+
+    ``transient`` failures are worth retrying and, failing that,
+    quarantining: injected kernel faults and anything raised by the
+    kernels themselves (a flaky driver, a numerical blow-up in one
+    task's data).  ``fatal`` failures are contract or configuration
+    bugs - any other :class:`~repro.errors.ReproError` (bad chunk
+    cover, closed queues, scope violations) - where retrying the same
+    dispatch can only fail the same way, so the pipeline must unwind
+    and surface the error.
+    """
+    if isinstance(exc, TransientKernelFault):
+        return FAILURE_TRANSIENT
+    if isinstance(exc, ReproError):
+        return FAILURE_FATAL
+    return FAILURE_TRANSIENT
 
 
 # ----------------------------------------------------------------------
@@ -344,7 +372,7 @@ class FaultInjector:
 
     def __init__(self, plan: FaultPlan):
         self.plan = plan
-        self._lock = threading.Lock()
+        self._lock = checked_lock("fault-log.lock")
         self._events: List[FaultEvent] = []
         self._dead_pus: Dict[str, int] = {}
 

@@ -32,6 +32,7 @@ from repro.errors import (
     StallError,
 )
 from repro.runtime.faults import (
+    FAILURE_FATAL,
     RECOVERY,
     RETRY,
     QUARANTINE,
@@ -39,6 +40,7 @@ from repro.runtime.faults import (
     FaultInjector,
     RetryPolicy,
     TaskFailure,
+    classify_failure,
     clear_quarantine,
     quarantine_task,
     task_failure,
@@ -191,30 +193,32 @@ class _Dispatcher(threading.Thread):
                                             failures + 1, exc)
                 raise
             except Exception as exc:
+                # Classify before recovering: fatal failures (contract /
+                # configuration bugs) would fail identically on retry, so
+                # they unwind the pipeline instead of burning the task's
+                # recovery budget.
+                if classify_failure(exc) == FAILURE_FATAL:
+                    raise
                 failures += 1
                 backoff = (self.retry_policy.backoff_s(failures)
                            if self.retry_policy is not None else None)
-                if backoff is not None:
-                    if self.injector is not None:
-                        self.injector.record(
-                            RETRY, self.chunk.pu_class, index, task_id,
-                            attempt=failures, detail=repr(exc),
+                if backoff is None:
+                    if self.isolate_failures:
+                        return self._quarantine(task, task_id, index,
+                                                failures, exc)
+                    raise
+                self._record_retry(index, task_id, failures, exc)
+                try:
+                    self._sleep(backoff)
+                except StallError as stall:
+                    if self.heartbeat is not None:
+                        self.heartbeat.cancel.clear()
+                    if self.isolate_failures:
+                        return self._quarantine(
+                            task, task_id, index, failures, stall
                         )
-                    try:
-                        self._sleep(backoff)
-                    except StallError as stall:
-                        if self.heartbeat is not None:
-                            self.heartbeat.cancel.clear()
-                        if self.isolate_failures:
-                            return self._quarantine(
-                                task, task_id, index, failures, stall
-                            )
-                        raise
-                    continue
-                if self.isolate_failures:
-                    return self._quarantine(task, task_id, index,
-                                            failures, exc)
-                raise
+                    raise
+                continue
             else:
                 self.stages_executed += 1
                 if failures and self.injector is not None:
@@ -223,6 +227,15 @@ class _Dispatcher(threading.Thread):
                         attempt=failures,
                     )
                 return True
+
+    def _record_retry(self, index: int, task_id: int, failures: int,
+                      exc: BaseException) -> None:
+        """Route one retried failure into the fault log (when attached)."""
+        if self.injector is not None:
+            self.injector.record(
+                RETRY, self.chunk.pu_class, index, task_id,
+                attempt=failures, detail=repr(exc),
+            )
 
     def _quarantine(self, task: TaskObject, task_id: int, index: int,
                     attempt: int, exc: BaseException) -> bool:
@@ -322,8 +335,8 @@ class ThreadedPipelineExecutor:
         if n_tasks < 1:
             raise PipelineError("n_tasks must be >= 1")
         queues = [
-            SpscQueue(capacity=self.depth + 1)
-            for _ in range(len(self.chunks) + 1)
+            SpscQueue(capacity=self.depth + 1, name=f"pipe-q{i}")
+            for i in range(len(self.chunks) + 1)
         ]
         heartbeats: Optional[List[Heartbeat]] = None
         watchdog: Optional[Watchdog] = None
@@ -388,6 +401,10 @@ class ThreadedPipelineExecutor:
                     except QueueClosedError:
                         break  # pipeline unwound mid-recycle
                     issued += 1
+                else:
+                    # Retired for good: any later access is a lifetime
+                    # bug the concurrency checker will flag.
+                    task.release()
             if completed == n_tasks:
                 try:
                     queues[0].push(_POISON, timeout=self.queue_timeout_s)

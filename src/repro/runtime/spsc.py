@@ -10,27 +10,69 @@ closing for clean pipeline shutdown.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
-from typing import Any, List, Optional
+from typing import Any, List, Optional, Tuple
 
+from repro.analysis import runtime_checks as _checks
+from repro.analysis.lock_order import checked_lock
 from repro.errors import QueueClosedError
+
+#: Deterministic default names for anonymous queues ("spsc-0", ...).
+_QUEUE_IDS = itertools.count()
 
 
 class SpscQueue:
-    """A bounded FIFO for exactly one producer and one consumer thread."""
+    """A bounded FIFO for exactly one producer and one consumer thread.
 
-    def __init__(self, capacity: int):
+    The single-producer/single-consumer discipline is an *ownership*
+    contract, not something the lock enforces: under ``REPRO_CHECK=1``
+    the first push binds the producer thread and the first pop binds
+    the consumer thread, and any operation from a second thread is
+    recorded as a concurrency violation (``close`` is exempt - any
+    thread may unwind the pipeline).
+    """
+
+    def __init__(self, capacity: int, name: Optional[str] = None):
         if capacity < 1:
             raise ValueError("queue capacity must be >= 1")
         self.capacity = capacity
+        self.name = name if name is not None else f"spsc-{next(_QUEUE_IDS)}"
         self._ring: List[Any] = [None] * (capacity + 1)  # one slot spare
         self._head = 0  # consumer position
         self._tail = 0  # producer position
         self._closed = False
-        self._lock = threading.Lock()
+        self._lock = checked_lock(f"{self.name}.lock")
         self._not_empty = threading.Condition(self._lock)
         self._not_full = threading.Condition(self._lock)
+        # (ident, thread name) bound by the first push / first pop.
+        self._producer: Optional[Tuple[int, str]] = None
+        self._consumer: Optional[Tuple[int, str]] = None
+
+    # ------------------------------------------------------------------
+    def _bind(self, end: str) -> None:
+        """Bind/verify the calling thread's ownership of one queue end.
+
+        Called with the queue lock held, so binding is race-free even
+        when the violating threads race each other.
+        """
+        me = (threading.get_ident(), threading.current_thread().name)
+        bound = self._producer if end == "producer" else self._consumer
+        if bound is None:
+            if end == "producer":
+                self._producer = me
+            else:
+                self._consumer = me
+            return
+        if bound[0] != me[0]:
+            kind = (_checks.SPSC_PRODUCER if end == "producer"
+                    else _checks.SPSC_CONSUMER)
+            _checks.record_violation(
+                kind, where=self.name,
+                detail=(f"{end} end bound to thread {bound[1]!r} but "
+                        f"used from {me[1]!r}"),
+            )
 
     # ------------------------------------------------------------------
     def _size_locked(self) -> int:
@@ -59,6 +101,8 @@ class SpscQueue:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_full:
+            if _checks.ENABLED:
+                self._bind("producer")
             while self._size_locked() >= self.capacity:
                 if self._closed:
                     raise QueueClosedError("push to closed queue")
@@ -77,6 +121,8 @@ class SpscQueue:
     def try_push(self, item: Any) -> bool:
         """Non-blocking enqueue; False when full."""
         with self._not_full:
+            if _checks.ENABLED:
+                self._bind("producer")
             if self._closed:
                 raise QueueClosedError("push to closed queue")
             if self._size_locked() >= self.capacity:
@@ -98,6 +144,8 @@ class SpscQueue:
         """
         deadline = None if timeout is None else time.monotonic() + timeout
         with self._not_empty:
+            if _checks.ENABLED:
+                self._bind("consumer")
             while self._size_locked() == 0:
                 if self._closed:
                     raise QueueClosedError("pop from closed, drained queue")
@@ -116,6 +164,8 @@ class SpscQueue:
     def try_pop(self) -> Any:
         """Non-blocking dequeue; raises IndexError when empty."""
         with self._not_empty:
+            if _checks.ENABLED:
+                self._bind("consumer")
             if self._size_locked() == 0:
                 if self._closed:
                     raise QueueClosedError("pop from closed, drained queue")

@@ -17,6 +17,7 @@ from typing import Dict, Iterator, Mapping, MutableMapping, Optional
 
 import numpy as np
 
+from repro.analysis import runtime_checks as _checks
 from repro.errors import PipelineError
 from repro.runtime.usm import UsmBuffer
 
@@ -30,19 +31,40 @@ class TaskObject(MutableMapping):
         self._buffers: Dict[str, UsmBuffer] = {}
         self._constants: Dict[str, object] = {}
         self._generation = 0
+        self._released = False
 
     # ------------------------------------------------------------------
     # Construction
     # ------------------------------------------------------------------
+    def _insert(self, buffer: UsmBuffer) -> UsmBuffer:
+        """Register a buffer, checking aliasing under ``REPRO_CHECK``.
+
+        Two buffers of one TaskObject sharing storage breaks the
+        multi-buffer lifetime model: a chunk writing one silently
+        clobbers the other mid-pipeline.
+        """
+        if _checks.ENABLED:
+            for other in self._buffers.values():
+                if buffer.shares_storage(other):
+                    _checks.record_violation(
+                        _checks.BUFFER_ALIAS,
+                        where=f"TaskObject {self.task_id}",
+                        detail=(f"buffers {buffer.name!r} and "
+                                f"{other.name!r} alias the same "
+                                "storage"),
+                    )
+        self._buffers[buffer.name] = buffer
+        return buffer
+
     def allocate(self, name: str, shape, dtype, scope: str = "unified") -> UsmBuffer:
         """Pre-allocate a named buffer (refuses duplicates)."""
         if name in self._buffers:
             raise PipelineError(f"buffer {name!r} already allocated")
-        buffer = UsmBuffer(name, tuple(np.atleast_1d(shape).tolist())
-                           if not isinstance(shape, tuple) else shape,
-                           dtype, scope=scope)
-        self._buffers[name] = buffer
-        return buffer
+        return self._insert(
+            UsmBuffer(name, tuple(np.atleast_1d(shape).tolist())
+                      if not isinstance(shape, tuple) else shape,
+                      dtype, scope=scope)
+        )
 
     def adopt(self, name: str, array: np.ndarray) -> UsmBuffer:
         """Wrap an existing array's shape/dtype as a unified buffer and
@@ -51,8 +73,18 @@ class TaskObject(MutableMapping):
         np.copyto(buffer.host_view(), array)
         return buffer
 
+    def wrap(self, name: str, array: np.ndarray,
+             scope: str = "unified") -> UsmBuffer:
+        """Adopt an existing array *zero-copy* as a named buffer (the
+        UMA adoption path; the checker flags aliasing against the
+        task's other buffers)."""
+        if name in self._buffers:
+            raise PipelineError(f"buffer {name!r} already allocated")
+        return self._insert(UsmBuffer.wrap(name, array, scope=scope))
+
     def set_constant(self, name: str, value) -> None:
         """Attach a scalar parameter (e.g. input dimensions)."""
+        self._check_live(f"set_constant({name!r})")
         self._constants[name] = value
 
     def constant(self, name: str):
@@ -71,6 +103,7 @@ class TaskObject(MutableMapping):
     # ------------------------------------------------------------------
     def buffer(self, name: str) -> UsmBuffer:
         """The named UsmBuffer object (for scoped views/hints)."""
+        self._check_live(f"buffer({name!r})")
         try:
             return self._buffers[name]
         except KeyError:
@@ -107,13 +140,43 @@ class TaskObject(MutableMapping):
             self.buffer(name).attach_async(pu_class)
 
     def recycle(self, new_sequence: int) -> None:
-        """Reset for reuse by a subsequent task (dispatcher recycling)."""
+        """Reset for reuse by a subsequent task (dispatcher recycling).
+
+        Recycling a *released* TaskObject is a lifetime bug - the
+        executor only recycles live objects still circulating through
+        the queues - so the checker reports it before reviving.
+        """
+        self._check_live(f"recycle({new_sequence})")
         self.sequence = new_sequence
         self._generation += 1
 
     @property
     def generation(self) -> int:
         return self._generation
+
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Retire the task and all its buffers (end of its last use).
+
+        Under ``REPRO_CHECK=1`` any later buffer or constant access is
+        recorded as a ``use-after-release`` violation - the Python
+        stand-in for the C++ runtime freeing the TaskObject's memory.
+        Idempotent.
+        """
+        self._released = True
+        for buffer in self._buffers.values():
+            buffer.release()
+
+    def _check_live(self, operation: str) -> None:
+        if self._released and _checks.ENABLED:
+            _checks.record_violation(
+                _checks.USE_AFTER_RELEASE,
+                where=f"TaskObject {self.task_id}",
+                detail=f"{operation} on a released task object",
+            )
 
     def total_bytes(self) -> int:
         """Total bytes across all buffers."""

@@ -12,10 +12,11 @@ barriers) so tests can assert the dispatcher synchronizes correctly.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.analysis import runtime_checks as _checks
 from repro.errors import PipelineError
 
 
@@ -30,18 +31,42 @@ class UsmBuffer:
             TaskObjects may also contain host- or device-only scratch
             (e.g. GPU radix-sort histograms).  Scoped buffers refuse views
             from the wrong side.
+        data: Optional existing array to adopt *zero-copy* as the
+            unified allocation (the UMA adoption path); must match
+            ``shape`` and ``dtype``.  Without it a fresh zeroed
+            allocation is made.
     """
 
     SCOPES = ("unified", "host", "device")
 
     def __init__(self, name: str, shape: Tuple[int, ...], dtype,
-                 scope: str = "unified"):
+                 scope: str = "unified",
+                 data: Optional[np.ndarray] = None):
         if scope not in self.SCOPES:
             raise PipelineError(f"bad buffer scope {scope!r}")
         self.name = name
         self.scope = scope
-        self._data = np.zeros(shape, dtype=dtype)
+        if data is not None:
+            if tuple(data.shape) != tuple(shape) \
+                    or data.dtype != np.dtype(dtype):
+                raise PipelineError(
+                    f"buffer {name!r}: adopted array is "
+                    f"{data.shape}/{data.dtype}, declared "
+                    f"{tuple(shape)}/{np.dtype(dtype)}"
+                )
+            self._data = data
+        else:
+            self._data = np.zeros(shape, dtype=dtype)
         self._attach_log: List[str] = []
+        self._released = False
+
+    @classmethod
+    def wrap(cls, name: str, array: np.ndarray,
+             scope: str = "unified") -> "UsmBuffer":
+        """Adopt an existing array zero-copy (shares its storage)."""
+        array = np.asarray(array)
+        return cls(name, tuple(array.shape), array.dtype, scope=scope,
+                   data=array)
 
     # ------------------------------------------------------------------
     @property
@@ -62,6 +87,7 @@ class UsmBuffer:
             raise PipelineError(
                 f"buffer {self.name!r} is device-only; no host view"
             )
+        self._check_live("host_view")
         return self._data
 
     def device_view(self) -> np.ndarray:
@@ -70,6 +96,7 @@ class UsmBuffer:
             raise PipelineError(
                 f"buffer {self.name!r} is host-only; no device view"
             )
+        self._check_live("device_view")
         return self._data
 
     def view_for(self, pu_class: str) -> np.ndarray:
@@ -84,6 +111,7 @@ class UsmBuffer:
         recording into a ``VkCommandBuffer`` (Vulkan) issued by the
         dispatcher before launching a chunk (paper section 3.4).
         """
+        self._check_live("attach_async")
         self._attach_log.append(pu_class)
 
     @property
@@ -92,11 +120,41 @@ class UsmBuffer:
 
     def fill(self, value) -> None:
         """Fill the buffer with a constant."""
+        self._check_live("fill")
         self._data.fill(value)
 
     def zero(self) -> None:
         """Zero the buffer."""
+        self._check_live("zero")
         self._data.fill(0)
+
+    # ------------------------------------------------------------------
+    # Lifetime (checked by the dynamic concurrency checker)
+    # ------------------------------------------------------------------
+    @property
+    def released(self) -> bool:
+        return self._released
+
+    def release(self) -> None:
+        """Retire the buffer: any later view/write is a lifetime bug.
+
+        The pipeline executor releases a TaskObject's buffers when the
+        task retires; under ``REPRO_CHECK=1`` any subsequent access is
+        recorded as a ``use-after-release`` violation.  Idempotent.
+        """
+        self._released = True
+
+    def _check_live(self, operation: str) -> None:
+        if self._released and _checks.ENABLED:
+            _checks.record_violation(
+                _checks.USE_AFTER_RELEASE,
+                where=f"UsmBuffer {self.name!r}",
+                detail=f"{operation}() on a released buffer",
+            )
+
+    def shares_storage(self, other: "UsmBuffer") -> bool:
+        """Whether two buffers alias the same underlying memory."""
+        return bool(np.shares_memory(self._data, other._data))
 
     def __repr__(self) -> str:  # pragma: no cover - debug helper
         return (

@@ -34,6 +34,7 @@ import time
 from dataclasses import dataclass
 from typing import List, Optional, Set, Tuple
 
+from repro.analysis.lock_order import checked_lock
 from repro.errors import PipelineError, StallError
 from repro.runtime.faults import (
     DEADLINE_OVERRUN,
@@ -91,7 +92,7 @@ class Heartbeat:
         #: Set by the watchdog to cancel the in-flight dispatch;
         #: observed by cancellable sleeps and cooperative kernels.
         self.cancel = threading.Event()
-        self._lock = threading.Lock()
+        self._lock = checked_lock(f"heartbeat-{chunk_index}.lock")
         self._busy_since: Optional[float] = None
         self._task_id = -1
         self._stage_index = -1
@@ -176,7 +177,7 @@ class Watchdog:
         self.config = config
         self.injector = injector
         self.events: List[FaultEvent] = []
-        self._lock = threading.Lock()
+        self._lock = checked_lock("watchdog.events-lock")
         self._stop = threading.Event()
         self._overruns: Set[Tuple[int, int]] = set()
         self._stalls: Set[Tuple[int, int]] = set()

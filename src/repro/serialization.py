@@ -105,6 +105,18 @@ def atomic_write_text(path: PathLike, text: str) -> None:
         raise
 
 
+def write_json_report(path: PathLike, payload: Dict[str, Any]) -> None:
+    """Persist a plain (untagged) JSON report atomically.
+
+    The single sanctioned sink for tool output files - fault-sim
+    reports, lint findings, race-checker verdicts - so every artifact
+    write in the tree goes through the atomic tmp + fsync + rename
+    path (and the ``RAW-ARTIFACT-WRITE`` lint rule can flag any that
+    does not).
+    """
+    atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
+
+
 def write_artifact(path: PathLike, kind: str,
                    payload: Dict[str, Any]) -> None:
     """Persist a tagged, checksummed JSON artifact atomically."""

@@ -1,0 +1,10 @@
+"""Lint fixture (never imported): RAW-ARTIFACT-WRITE violations."""
+
+import json
+from pathlib import Path
+
+
+def dump(path, payload):
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+    Path(path).write_text("done")

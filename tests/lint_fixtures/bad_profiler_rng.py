@@ -1,0 +1,12 @@
+"""Lint fixture (never imported): GLOBAL-RNG violations.
+
+The file name contains ``profiler`` so the determinism rule applies.
+"""
+
+import random
+
+import numpy as np
+
+
+def jitter():
+    return random.random() + np.random.rand()

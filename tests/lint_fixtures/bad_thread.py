@@ -1,0 +1,9 @@
+"""Lint fixture (never imported): UNSUPERVISED-THREAD violation."""
+
+import threading
+
+
+def spawn(fn):
+    worker = threading.Thread(target=fn)
+    worker.start()
+    return worker

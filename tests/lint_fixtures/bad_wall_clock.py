@@ -1,0 +1,7 @@
+"""Lint fixture (never imported): WALL-CLOCK violation."""
+
+import time
+
+
+def deadline_in(seconds):
+    return time.time() + seconds

@@ -1,0 +1,7 @@
+"""Lint fixture (never imported): a suppressed real finding."""
+
+import time
+
+
+def stamp():
+    return time.time()  # bt-lint: disable=WALL-CLOCK

@@ -390,3 +390,72 @@ class TestAdaptiveFallback:
         before = pipeline.schedule
         assert pipeline.mark_pu_failed(unused[0]) is False
         assert pipeline.schedule is before
+
+
+class TestFailureClassification:
+    def test_classify_failure(self):
+        from repro.runtime import (
+            FAILURE_FATAL,
+            FAILURE_TRANSIENT,
+            classify_failure,
+        )
+
+        assert classify_failure(
+            TransientKernelFault("x")) == FAILURE_TRANSIENT
+        assert classify_failure(
+            PipelineError("bad chunk cover")) == FAILURE_FATAL
+        assert classify_failure(
+            SchedulingError("bad schedule")) == FAILURE_FATAL
+        assert classify_failure(
+            ValueError("numerical blow-up")) == FAILURE_TRANSIENT
+
+    def test_fatal_kernel_error_unwinds_instead_of_retrying(self):
+        """A ReproError from dispatch is a contract bug: it must not
+        burn the retry budget or be quarantined away."""
+        calls = {"n": 0}
+
+        def fatal_kernel(task):
+            calls["n"] += 1
+            raise PipelineError("contract bug")
+
+        stages = [Stage("s0", work(),
+                        {"cpu": fatal_kernel, "gpu": fatal_kernel})]
+        app = Application(
+            "fatal", stages,
+            make_task=lambda seed: {"x": np.zeros(1)},
+        )
+        executor = ThreadedPipelineExecutor(
+            app, [Chunk(0, 1, "big")],
+            retry_policy=RetryPolicy(max_attempts=3, base_backoff_s=1e-4),
+            isolate_failures=True,
+        )
+        with pytest.raises(PipelineError):
+            executor.run(2)
+        assert calls["n"] == 1  # no retry, no quarantine
+
+    def test_generic_kernel_error_still_recovers(self):
+        """Non-Repro exceptions from a kernel stay retryable."""
+        attempts = {"n": 0}
+
+        def flaky_kernel(task):
+            attempts["n"] += 1
+            if attempts["n"] == 1:
+                raise ValueError("transient glitch")
+
+        stages = [Stage("s0", work(),
+                        {"cpu": flaky_kernel, "gpu": flaky_kernel})]
+        app = Application(
+            "flaky", stages,
+            make_task=lambda seed: {"x": np.zeros(1)},
+        )
+        injector = FaultInjector(FaultPlan())
+        result = ThreadedPipelineExecutor(
+            app, [Chunk(0, 1, "big")],
+            fault_injector=injector,
+            retry_policy=RetryPolicy(max_attempts=3, base_backoff_s=1e-4),
+        ).run(2)
+        assert result.completed == 2
+        assert not result.failures
+        kinds = [event.kind for event in injector.events]
+        assert "retry" in kinds
+        assert "recovery" in kinds

@@ -103,13 +103,16 @@ class TestSpscQueue:
         assert outcome == ["closed"]
 
     def test_blocked_producer_wakes_on_close(self):
+        # The producer thread does *all* the pushing (including the
+        # fill) so the queue keeps its single-producer discipline under
+        # the concurrency checker; close() may come from any thread.
         q = SpscQueue(capacity=1)
-        q.push("fill")
         outcome = []
-        started = threading.Event()
+        filled = threading.Event()
 
         def producer():
-            started.set()
+            q.push("fill")
+            filled.set()
             try:
                 q.push("blocked", timeout=5)
             except QueueClosedError:
@@ -117,7 +120,7 @@ class TestSpscQueue:
 
         t = threading.Thread(target=producer)
         t.start()
-        started.wait(timeout=5)
+        filled.wait(timeout=5)
         time.sleep(0.05)  # let the producer actually block while full
         q.close()
         t.join(timeout=5)

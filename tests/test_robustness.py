@@ -83,11 +83,15 @@ class TestKernelFailures:
 
 class TestQueueEdgeCases:
     def test_close_during_blocked_push_raises(self):
+        # One thread owns the producer end (fill + blocked push) so the
+        # queue keeps SPSC discipline under the concurrency checker.
         queue = SpscQueue(capacity=1)
-        queue.push("fill")
         errors = []
+        filled = threading.Event()
 
         def producer():
+            queue.push("fill")
+            filled.set()
             try:
                 queue.push("blocked", timeout=5)
             except Exception as exc:  # noqa: BLE001 - recording type
@@ -95,6 +99,7 @@ class TestQueueEdgeCases:
 
         thread = threading.Thread(target=producer)
         thread.start()
+        filled.wait(timeout=5)
         time.sleep(0.05)
         queue.close()
         thread.join(timeout=5)
