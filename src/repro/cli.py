@@ -6,7 +6,7 @@ deployed plan, or the full evaluation report.
 
 Commands:
 
-* ``platforms`` / ``apps``     - list registered targets / workloads
+* ``platforms`` / ``apps``     - list registered targets / workloads (``--json``)
 * ``profile``                  - collect a profiling table (optionally save JSON)
 * ``plan``                     - run the end-to-end flow, print the plan
 * ``run``                      - checkpointed campaign with resume (``--session``)
@@ -14,6 +14,8 @@ Commands:
 * ``analyze``                  - affinity spreads, speedup bounds, schedule explanation
 * ``gantt``                    - render the deployed pipeline's Gantt chart
 * ``faultsim``                 - inject faults, exercise recovery, report
+* ``serve``                    - boot the multi-tenant serving soak scenario
+* ``submit``                   - submit one job to a fresh server, report admission
 * ``lint``                     - static invariant linter over the tree
 * ``race``                     - dynamic concurrency checker (REPRO_CHECK)
 * ``report``                   - regenerate every paper table/figure
@@ -71,23 +73,59 @@ def _platform(name: str):
 # ----------------------------------------------------------------------
 # Commands
 # ----------------------------------------------------------------------
+def _emit_listing(args: argparse.Namespace, payload: dict,
+                  text_lines: List[str]) -> int:
+    """Shared output plumbing for the listing commands: ``--json``
+    prints machine-readable output, ``--out`` persists the same payload
+    through the sanctioned atomic report sink."""
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    else:
+        for line in text_lines:
+            print(line)
+    if args.out:
+        write_json_report(args.out, payload)
+        print(f"listing saved to {args.out}", file=sys.stderr)
+    return 0
+
+
 def cmd_platforms(args: argparse.Namespace) -> int:
     """List registered platforms (paper grid starred)."""
+    rows = []
+    lines = []
     for name in _ALL_PLATFORMS:
         platform = get_platform(name)
+        rows.append({
+            "name": name,
+            "display_name": platform.display_name,
+            "soc_model": platform.soc_model,
+            "paper_grid": name in PLATFORM_NAMES,
+            "pu_classes": list(platform.pu_classes()),
+            "schedulable_classes": list(platform.schedulable_classes()),
+        })
         marker = "*" if name in PLATFORM_NAMES else " "
-        print(f"{marker} {name}: {platform.display_name} "
-              f"({platform.soc_model})")
-    print("\n* = part of the paper's evaluation grid")
-    return 0
+        lines.append(f"{marker} {name}: {platform.display_name} "
+                     f"({platform.soc_model})")
+    lines.append("")
+    lines.append("* = part of the paper's evaluation grid")
+    return _emit_listing(args, {"platforms": rows}, lines)
 
 
 def cmd_apps(args: argparse.Namespace) -> int:
     """List registered applications."""
+    rows = []
+    lines = []
     for name, builder in APPLICATION_BUILDERS.items():
         app = builder()
-        print(f"{name}: {app.num_stages} stages - {app.description}")
-    return 0
+        rows.append({
+            "name": name,
+            "stages": app.num_stages,
+            "description": app.description,
+            "input_kind": app.input_kind,
+        })
+        lines.append(f"{name}: {app.num_stages} stages - "
+                     f"{app.description}")
+    return _emit_listing(args, {"applications": rows}, lines)
 
 
 def cmd_profile(args: argparse.Namespace) -> int:
@@ -313,6 +351,129 @@ def cmd_faultsim(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_serve_report(report, server) -> None:
+    """Human-readable summary of one serving run."""
+    print(f"served {report.ticks} ticks on {report.platform} "
+          f"(seed {report.seed}, rescheduling "
+          f"{'on' if report.rescheduling_enabled else 'off'})")
+    print(f"plan cache: {report.plan_cache}")
+    print()
+    for name in sorted(report.tenants):
+        m = report.tenants[name]
+        line = (f"  {name:16s} {m.status:10s} "
+                f"windows={m.windows_served:<3d} "
+                f"reschedules={m.reschedules}")
+        if m.windows_served:
+            line += (f"  p50={m.p50_latency_s * 1e3:.3f}ms "
+                     f"p95={m.p95_latency_s * 1e3:.3f}ms")
+        record = server.records.get(name)
+        if record is not None and record.status_detail:
+            line += f"  ({record.status_detail})"
+        print(line)
+    events = [e for e in report.timeline
+              if e["event"] in ("admit", "queue", "reject",
+                                "reschedule", "evict", "complete",
+                                "fail")]
+    print()
+    print("control-plane events:")
+    for event in events:
+        extra = {k: v for k, v in event.items()
+                 if k not in ("tick", "event", "tenant")}
+        print(f"  tick {event['tick']:>3}  {event['event']:<10} "
+              f"{event['tenant']:<16} {extra if extra else ''}")
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Boot the multi-tenant serving layer on the soak scenario.
+
+    Runs the same deterministic scenario the acceptance soak test and
+    the CI smoke job use: three concurrent tenants packed onto
+    disjoint PU partitions, injected interference drift mid-run, and a
+    fourth submission the admission controller must reject.
+    """
+    from repro.serve import SoakScenario, build_soak_server
+
+    scenario = SoakScenario(
+        platform_name=args.platform,
+        seed=args.seed,
+        windows=args.windows,
+        window_tasks=args.tasks,
+        drift_start_tick=args.drift_tick,
+    )
+    server = build_soak_server(scenario,
+                               reschedule=not args.frozen)
+    report = server.run(timeout_s=args.timeout_s)
+    _print_serve_report(report, server)
+    if args.gantt:
+        print()
+        print("last served window per tenant:")
+        print(format_gantt(server.trace_spans, width=args.width))
+    if args.out:
+        write_json_report(args.out, report.to_dict())
+        print(f"\nserve report saved to {args.out}", file=sys.stderr)
+    return 0
+
+
+def cmd_submit(args: argparse.Namespace) -> int:
+    """Submit one job to a fresh server and report its admission fate.
+
+    Boots an in-process :class:`~repro.serve.PipelineServer`, admits
+    ``--co`` synthetic background tenants first (so the submission
+    faces real contention), then submits the requested application and
+    reports the admission decision and, if admitted, its measured
+    serving latencies.
+    """
+    from repro.apps.synthetic import build_synthetic_application
+    from repro.serve import PipelineServer, ServerConfig, TenantSpec
+
+    platform = _platform(args.platform)
+    server = PipelineServer(
+        platform,
+        seed=args.seed,
+        config=ServerConfig(
+            max_ticks=args.windows + 8,
+            queue_capacity=args.queue_capacity,
+            max_partition_classes=args.cap,
+            reschedule=True,
+        ),
+    )
+    for index in range(args.co):
+        server.submit(TenantSpec(
+            name=f"co-{index}",
+            application=build_synthetic_application(
+                seed=args.seed + 1 + index, stage_count=3,
+            ),
+            priority=0,
+            windows=args.windows,
+            window_tasks=args.tasks,
+        ))
+    server.submit(TenantSpec(
+        name=args.name,
+        application=_build_app(args.app),
+        priority=args.priority,
+        windows=args.windows,
+        window_tasks=args.tasks,
+        required_classes=frozenset(args.require or ()),
+    ))
+    report = server.run(timeout_s=args.timeout_s)
+    record = server.records[args.name]
+    print(f"submission {args.name!r} ({args.app}) on "
+          f"{platform.display_name} with {args.co} co-tenants:")
+    print(f"  outcome: {record.status}  ({record.status_detail})")
+    if record.partition:
+        print(f"  partition: {sorted(record.partition)}")
+    metrics = report.tenants[args.name]
+    if metrics.windows_served:
+        print(f"  windows served: {metrics.windows_served}, "
+              f"reschedules: {metrics.reschedules}")
+        print(f"  per-item latency: p50 {metrics.p50_latency_s * 1e3:.3f} ms, "
+              f"p95 {metrics.p95_latency_s * 1e3:.3f} ms")
+    if args.out:
+        write_json_report(args.out, report.to_dict())
+        print(f"serve report saved to {args.out}", file=sys.stderr)
+    return 0 if record.status in ("completed", "running") else 1
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the static invariant linter (``--strict`` gates CI)."""
     from repro.analysis.linter import default_lint_target, lint_paths
@@ -393,10 +554,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("platforms", help="list registered platforms"
-                   ).set_defaults(fn=cmd_platforms)
-    sub.add_parser("apps", help="list registered applications"
-                   ).set_defaults(fn=cmd_apps)
+    p = sub.add_parser("platforms", help="list registered platforms")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable listing on stdout")
+    p.add_argument("--out",
+                   help="save the listing as JSON (atomic write)")
+    p.set_defaults(fn=cmd_platforms)
+
+    p = sub.add_parser("apps", help="list registered applications")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable listing on stdout")
+    p.add_argument("--out",
+                   help="save the listing as JSON (atomic write)")
+    p.set_defaults(fn=cmd_apps)
 
     p = sub.add_parser("profile", help="collect a profiling table")
     _add_target_args(p)
@@ -461,6 +631,63 @@ def build_parser() -> argparse.ArgumentParser:
                    help="skip the PU-dropout phase")
     p.add_argument("--out", help="save the structured report as JSON")
     p.set_defaults(fn=cmd_faultsim)
+
+    p = sub.add_parser("serve",
+                       help="boot the multi-tenant serving soak "
+                            "scenario (deterministic)")
+    p.add_argument("--platform", default="pixel7a",
+                   help="target platform (see `platforms`)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="scenario seed (same seed, same bytes)")
+    p.add_argument("--windows", type=int, default=30,
+                   help="execution windows per tenant (>= 8 so the "
+                        "p95 is meaningful)")
+    p.add_argument("--tasks", type=int, default=10,
+                   help="tasks per window")
+    p.add_argument("--drift-tick", type=int, default=4,
+                   help="tick at which injected interference starts")
+    p.add_argument("--frozen", action="store_true",
+                   help="disable the online rescheduler (offline-"
+                        "schedule baseline)")
+    p.add_argument("--gantt", action="store_true",
+                   help="render each tenant's last window as a "
+                        "per-tenant Gantt chart")
+    p.add_argument("--width", type=int, default=72)
+    p.add_argument("--timeout-s", type=float, default=300.0,
+                   help="wall-clock drain deadline")
+    p.add_argument("--out", help="save the serve report as JSON")
+    p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("submit",
+                       help="submit one job to a fresh server and "
+                            "report its admission fate")
+    p.add_argument("--platform", default="pixel7a",
+                   help="target platform (see `platforms`)")
+    p.add_argument("--app", default="octree",
+                   help="application (see `apps`)")
+    p.add_argument("--name", default="job",
+                   help="tenant name for the submission")
+    p.add_argument("--priority", type=int, default=1,
+                   help="tenant priority (higher survives contention)")
+    p.add_argument("--windows", type=int, default=8,
+                   help="execution windows to serve")
+    p.add_argument("--tasks", type=int, default=10,
+                   help="tasks per window")
+    p.add_argument("--co", type=int, default=2,
+                   help="synthetic co-tenants admitted first")
+    p.add_argument("--require", action="append", default=None,
+                   metavar="PU_CLASS",
+                   help="PU class the job insists on (repeatable)")
+    p.add_argument("--queue-capacity", type=int, default=2,
+                   help="backpressure queue depth (0 rejects instead)")
+    p.add_argument("--cap", type=int, default=2,
+                   help="per-tenant partition width cap")
+    p.add_argument("--seed", type=int, default=7,
+                   help="seed for the synthetic co-tenants")
+    p.add_argument("--timeout-s", type=float, default=300.0,
+                   help="wall-clock drain deadline")
+    p.add_argument("--out", help="save the serve report as JSON")
+    p.set_defaults(fn=cmd_submit)
 
     p = sub.add_parser("lint",
                        help="static invariant linter over the tree")

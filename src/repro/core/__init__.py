@@ -13,6 +13,11 @@ from repro.core.optimizer import (
     OptimizationResult,
     ScheduleCandidate,
 )
+from repro.core.plan_cache import (
+    CachedPlan,
+    PlanCache,
+    with_packing_candidates,
+)
 from repro.core.profiler import (
     INTERFERENCE,
     ISOLATED,
@@ -36,12 +41,14 @@ __all__ = [
     "BTOptimizer",
     "BTProfiler",
     "BetterTogether",
+    "CachedPlan",
     "CampaignSession",
     "Chunk",
     "DeploymentPlan",
     "INTERFERENCE",
     "ISOLATED",
     "OptimizationResult",
+    "PlanCache",
     "ProfilingTable",
     "RateConstrainedChoice",
     "RateTrial",
@@ -54,4 +61,5 @@ __all__ = [
     "interference_ratios",
     "select_for_rate",
     "validate_schedule",
+    "with_packing_candidates",
 ]

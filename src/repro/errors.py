@@ -63,6 +63,12 @@ class ProfilingError(ReproError):
     """Raised when profiling inputs are inconsistent."""
 
 
+class ServeError(ReproError):
+    """Raised by the online serving layer (:mod:`repro.serve`) for
+    invalid tenant specs, placement invariant violations (cross-tenant
+    PU oversubscription), and misuse of the server lifecycle."""
+
+
 class AnalysisError(ReproError):
     """Raised when the correctness tooling (``repro lint`` /
     ``repro race``) is misused: missing lint targets, unparseable

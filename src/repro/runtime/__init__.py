@@ -45,7 +45,12 @@ from repro.runtime.spsc import SpscQueue
 from repro.runtime.trace import Span, format_gantt, pipeline_bubbles
 from repro.runtime.task_object import TaskObject
 from repro.runtime.usm import UsmBuffer
-from repro.runtime.watchdog import Heartbeat, Watchdog, WatchdogConfig
+from repro.runtime.watchdog import (
+    Heartbeat,
+    Watchdog,
+    WatchdogConfig,
+    supervised_thread,
+)
 
 __all__ = [
     "AdaptivePipeline",
@@ -78,4 +83,5 @@ __all__ = [
     "format_gantt",
     "max_depth_within",
     "pipeline_bubbles",
+    "supervised_thread",
 ]

@@ -171,6 +171,16 @@ class AdaptivePipeline:
 
         Returns the window's record (also appended to :attr:`history`).
         """
+        dead = set(self._schedule.pu_classes_used) & self.failed_pus
+        if dead:
+            # mark_pu_failed already reported candidate exhaustion for
+            # these PUs; executing anyway would silently dispatch onto
+            # dead hardware.
+            raise SchedulingError(
+                f"deployed schedule still uses failed PUs "
+                f"{sorted(dead)} and no cached candidate avoids them; "
+                "a full re-run (profiling included) is required"
+            )
         retuned = False
         fallback = False
         if self.history:

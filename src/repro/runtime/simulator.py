@@ -34,7 +34,7 @@ from repro.core.stage import Application, Chunk
 from repro.errors import PipelineError
 from repro.runtime.faults import FaultInjector
 from repro.runtime.trace import Span
-from repro.soc.interference import co_load_fraction
+from repro.soc.interference import ExternalLoad, external_co_load
 from repro.soc.platform import Platform
 
 #: Relative run-to-run jitter of a single stage execution (smaller than
@@ -188,6 +188,16 @@ class SimulatedPipelineExecutor:
             (:mod:`repro.runtime.faults`): slowdowns and transient
             kernel faults scale per-stage costs, PU dropout raises
             :class:`~repro.errors.PuFailureError` mid-run.
+        external_load: Optional
+            :class:`~repro.soc.interference.ExternalLoad` describing
+            co-runners outside this pipeline (other tenants on a
+            shared SoC, injected interference drift).  External busy
+            load on other classes raises the DVFS co-load, external
+            bandwidth demand contends on the memory controller, and
+            external load on a chunk's *own* class divides its rate by
+            ``1 + fraction`` (time-sharing).
+        tenant: Optional tenant/job id stamped on recorded trace spans
+            so multi-tenant Gantt charts can separate the streams.
     """
 
     def __init__(
@@ -197,6 +207,8 @@ class SimulatedPipelineExecutor:
         platform: Platform,
         depth: Optional[int] = None,
         fault_injector: Optional[FaultInjector] = None,
+        external_load: Optional[ExternalLoad] = None,
+        tenant: Optional[str] = None,
     ):
         from repro.runtime.pipeline import _check_chunk_cover
 
@@ -220,6 +232,11 @@ class SimulatedPipelineExecutor:
             f"{c.pu_class}:{c.start}-{c.stop}" for c in self.chunks
         )
         self._injector = fault_injector
+        self._external = (
+            None if external_load is None or external_load.is_empty
+            else external_load
+        )
+        self.tenant = tenant
         # (task, stage) -> jitter scale; the digest + RNG construction
         # dominates the DES hot path without it.
         self._noise_cache: Dict[Tuple[int, int], float] = {}
@@ -349,30 +366,43 @@ class SimulatedPipelineExecutor:
                     "pipeline deadlock: nothing active, tasks pending"
                 )
 
-            # Instantaneous rates under the current co-run condition.
+            # Instantaneous rates under the current co-run condition,
+            # internal (this pipeline's active chunks) plus external
+            # (co-tenants / injected drift on the shared SoC).
             busy_classes = {s.chunk.pu_class for s in active}
             total_demand = sum(
                 s.stage_costs[s.stage].demand_gbps
                 for s in active
                 if not s.in_overhead
             )
+            if self._external is not None:
+                total_demand += self._external.demand_gbps
             rates: Dict[int, float] = {}
             for server in active:
                 if server.in_overhead:
                     rates[server.index] = 1.0
                     continue
                 cost = server.stage_costs[server.stage]
-                others_busy = len(
-                    busy_classes - {server.chunk.pu_class}
+                co_load = external_co_load(
+                    busy_classes, server.chunk.pu_class,
+                    self._external, total_other,
                 )
-                co_load = co_load_fraction(others_busy, total_other)
-                rates[server.index] = self.platform.instantaneous_rate(
+                rate = self.platform.instantaneous_rate(
                     memory_boundedness=cost.memory_boundedness,
                     pu_class=server.chunk.pu_class,
                     demand_gbps=cost.demand_gbps,
                     total_demand_gbps=total_demand,
                     co_load=co_load,
                 )
+                if self._external is not None:
+                    # A foreign co-runner on the *same* class
+                    # time-shares the cluster (fair-share split).
+                    share = self._external.busy.get(
+                        server.chunk.pu_class, 0.0
+                    )
+                    if share > 0.0:
+                        rate /= 1.0 + share
+                rates[server.index] = rate
 
             # Advance to the next phase completion (or next arrival,
             # whichever lets the first chunk admit sooner).
@@ -406,6 +436,7 @@ class SimulatedPipelineExecutor:
                         task_id=previous_task,
                         start_s=span_starts.pop(server.index, now),
                         end_s=now,
+                        tenant=self.tenant,
                     ))
                 if position + 1 < len(self._servers):
                     self._servers[position + 1].ready.append(done_task)

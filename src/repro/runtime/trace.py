@@ -6,44 +6,43 @@ a pipeline's overlap - which chunk stalls, where the bubble is - is half
 of that.  The simulator optionally records one :class:`Span` per
 (chunk, task) execution; :func:`format_gantt` renders the spans as a
 terminal Gantt chart, one row per chunk.
+
+Spans optionally carry a tenant/job id (multi-tenant serving,
+:mod:`repro.serve`); tagged traces render as one Gantt section per
+tenant on a shared time axis, so cross-tenant interference windows
+line up visually.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 
 @dataclass(frozen=True)
 class Span:
-    """One chunk's processing of one task, in virtual time."""
+    """One chunk's processing of one task, in virtual time.
+
+    ``tenant`` is ``None`` for single-workload runs; the serving layer
+    stamps each tenant's spans with its job id so interleaved traces
+    remain separable.
+    """
 
     chunk_index: int
     pu_class: str
     task_id: int
     start_s: float
     end_s: float
+    tenant: Optional[str] = None
 
     @property
     def duration_s(self) -> float:
         return self.end_s - self.start_s
 
 
-def format_gantt(spans: Sequence[Span], width: int = 72) -> str:
-    """Render spans as an ASCII Gantt chart.
-
-    One row per chunk; each task's span is drawn with the last hex digit
-    of its task id, so the pipeline diagonal is visible:
-
-        chunk 0 big    00111222333...
-        chunk 1 gpu    ..0011122233...
-    """
-    if not spans:
-        return "(empty trace)"
-    t_end = max(span.end_s for span in spans)
-    if t_end <= 0:
-        return "(zero-length trace)"
-    scale = width / t_end
+def _chunk_rows(spans: Sequence[Span], scale: float,
+                width: int) -> List[str]:
+    """One Gantt row per (chunk, PU) present in ``spans``."""
     chunks = sorted({(s.chunk_index, s.pu_class) for s in spans})
     lines: List[str] = []
     for chunk_index, pu_class in chunks:
@@ -58,6 +57,43 @@ def format_gantt(spans: Sequence[Span], width: int = 72) -> str:
                 row[col] = glyph
         label = f"chunk {chunk_index} {pu_class:7s}"
         lines.append(f"{label} |{''.join(row)}|")
+    return lines
+
+
+def format_gantt(spans: Sequence[Span], width: int = 72) -> str:
+    """Render spans as an ASCII Gantt chart.
+
+    One row per chunk; each task's span is drawn with the last hex digit
+    of its task id, so the pipeline diagonal is visible:
+
+        chunk 0 big    00111222333...
+        chunk 1 gpu    ..0011122233...
+
+    When the spans carry tenant ids (multi-tenant traces), each tenant
+    gets its own titled section; every section shares one time axis so
+    co-run intervals align across tenants.
+    """
+    if not spans:
+        return "(empty trace)"
+    t_end = max(span.end_s for span in spans)
+    if t_end <= 0:
+        return "(zero-length trace)"
+    scale = width / t_end
+    tenants = {span.tenant for span in spans}
+    lines: List[str] = []
+    if tenants == {None}:
+        lines.extend(_chunk_rows(spans, scale, width))
+    else:
+        # Named tenants in sorted order; untagged spans last.
+        ordered = sorted(t for t in tenants if t is not None)
+        if None in tenants:
+            ordered.append(None)
+        for tenant in ordered:
+            label = tenant if tenant is not None else "(untagged)"
+            lines.append(f"tenant {label}:")
+            lines.extend(_chunk_rows(
+                [s for s in spans if s.tenant == tenant], scale, width
+            ))
     lines.append(
         f"{'':16s} 0{'':{width - 10}s}{t_end * 1e3:.2f} ms"
     )

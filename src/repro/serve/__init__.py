@@ -1,0 +1,94 @@
+"""repro.serve: online multi-tenant serving on one virtual SoC.
+
+The offline flow (profile -> optimize -> autotune -> deploy) freezes
+one schedule per pipeline.  This package keeps the loop closed at
+serve time: an interference-aware admission controller decides who may
+share the SoC, a placement map partitions the PU classes across
+admitted tenants (no oversubscription, ever), and an online
+rescheduler watches measured window latencies for drift and re-ranks
+each tenant's cached candidates under the load actually present -
+falling back to evicting the lowest-priority tenant when nothing fits.
+"""
+
+from repro.serve.admission import (
+    ADMIT,
+    QUEUE,
+    REJECT,
+    AdmissionController,
+    AdmissionDecision,
+)
+from repro.serve.metrics import (
+    ServeReport,
+    TenantMetrics,
+    fleet_p95,
+    merge_latencies,
+    percentile,
+)
+from repro.serve.placement import PlacementMap, tenant_offered_load
+from repro.serve.rescheduler import (
+    EVICT,
+    HOLD,
+    SWITCH,
+    OnlineRescheduler,
+    RescheduleAction,
+)
+from repro.serve.scenario import (
+    SoakScenario,
+    build_soak_server,
+    run_soak,
+)
+from repro.serve.server import (
+    DriftSpec,
+    PipelineServer,
+    ServerConfig,
+)
+from repro.serve.tenant import (
+    COMPLETED,
+    EVICTED,
+    FAILED,
+    PENDING,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    TERMINAL_STATES,
+    TenantRecord,
+    TenantSpec,
+    WindowResult,
+)
+
+__all__ = [
+    "ADMIT",
+    "AdmissionController",
+    "AdmissionDecision",
+    "COMPLETED",
+    "DriftSpec",
+    "EVICT",
+    "EVICTED",
+    "FAILED",
+    "HOLD",
+    "OnlineRescheduler",
+    "PENDING",
+    "PipelineServer",
+    "PlacementMap",
+    "QUEUE",
+    "QUEUED",
+    "REJECT",
+    "REJECTED",
+    "RUNNING",
+    "RescheduleAction",
+    "SWITCH",
+    "ServeReport",
+    "ServerConfig",
+    "SoakScenario",
+    "TERMINAL_STATES",
+    "TenantMetrics",
+    "TenantRecord",
+    "TenantSpec",
+    "WindowResult",
+    "build_soak_server",
+    "fleet_p95",
+    "merge_latencies",
+    "percentile",
+    "run_soak",
+    "tenant_offered_load",
+]

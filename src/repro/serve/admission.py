@@ -1,0 +1,233 @@
+"""Interference-aware admission control.
+
+Admission answers one question before any tenant touches the SoC:
+*if this job starts now, what happens to everyone's latency?*  The
+prediction reuses the paper's profiling artifacts rather than a new
+model: every tenant's plan carries both the isolated and the
+interference-heavy profiling table, so the latency of any schedule is
+known at both ends of the contention spectrum.  A measurement - or a
+hypothetical co-tenant - is placed *between* those ends by the
+fraction of the SoC's other PUs it keeps busy.
+
+Three outcomes:
+
+* ``ADMIT``  - a cached candidate fits entirely inside the free PU
+  classes, and the predicted slowdown it inflicts on every running
+  tenant stays under the impact ceiling;
+* ``QUEUE``  - the job is serveable in principle but not now (its PUs
+  are held, or it would hurt co-tenants too much); it waits in the
+  backpressure queue for a partition release;
+* ``REJECT`` - the job can never be served (needs unschedulable or
+  uncoverable PU classes), or the queue is full (backpressure), or
+  queueing is disabled and its required classes are oversubscribed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Mapping, Optional
+
+from repro.core.optimizer import ScheduleCandidate
+from repro.core.plan_cache import PlanCache
+from repro.errors import ServeError
+from repro.serve.placement import PlacementMap
+from repro.serve.tenant import TenantRecord, TenantSpec
+from repro.soc.platform import Platform
+
+ADMIT = "admit"
+QUEUE = "queue"
+REJECT = "reject"
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The controller's verdict on one submission."""
+
+    action: str
+    reason: str
+    candidate: Optional[ScheduleCandidate] = None
+    #: Modelled per-task latency of the chosen candidate given how
+    #: loaded the SoC is right now (isolated..interference blend).
+    predicted_latency_s: float = 0.0
+    #: Running tenant -> predicted slowdown ratio if this job starts.
+    predicted_impact: Mapping[str, float] = field(default_factory=dict)
+
+
+class AdmissionController:
+    """Decide admit/queue/reject from the shared profiling artifacts.
+
+    Args:
+        platform: The shared virtual SoC.
+        plan_cache: Source of per-application tables and candidates.
+        queue_capacity: Backpressure depth; 0 disables queueing so any
+            deferral becomes an outright rejection.
+        max_impact_ratio: Ceiling on the predicted slowdown admission
+            may inflict on any running tenant (e.g. 1.35 = +35%).
+        max_partition_classes: Optional cap on how many PU classes one
+            tenant may own - the multi-tenant fairness knob that keeps
+            a single job from claiming the whole SoC.
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        plan_cache: PlanCache,
+        queue_capacity: int = 4,
+        max_impact_ratio: float = 1.35,
+        max_partition_classes: Optional[int] = None,
+    ):
+        if queue_capacity < 0:
+            raise ServeError("queue_capacity must be >= 0")
+        if max_impact_ratio < 1.0:
+            raise ServeError("max_impact_ratio must be >= 1.0")
+        if max_partition_classes is not None and max_partition_classes < 1:
+            raise ServeError("max_partition_classes must be >= 1")
+        self.platform = platform
+        self.plan_cache = plan_cache
+        self.queue_capacity = queue_capacity
+        self.max_impact_ratio = max_impact_ratio
+        self.max_partition_classes = max_partition_classes
+        self._schedulable = frozenset(platform.schedulable_classes())
+
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        spec: TenantSpec,
+        placement: PlacementMap,
+        running: Mapping[str, TenantRecord],
+        queued: int,
+    ) -> AdmissionDecision:
+        """Evaluate one submission against the current placement."""
+        plan = self.plan_cache.plan_for(spec.application)
+
+        unservable = spec.required_classes - self._schedulable
+        if unservable:
+            return AdmissionDecision(
+                REJECT,
+                f"required PU classes {sorted(unservable)} are not "
+                "schedulable on this platform",
+            )
+        cap = self.max_partition_classes
+        if cap is not None and len(spec.required_classes) > cap:
+            return AdmissionDecision(
+                REJECT,
+                f"{len(spec.required_classes)} required PU classes "
+                f"exceed the per-tenant partition cap of {cap}",
+            )
+        coverable = [
+            c for c in plan.optimization.candidates
+            if spec.required_classes <= set(c.schedule.pu_classes_used)
+            and (cap is None
+                 or len(set(c.schedule.pu_classes_used)) <= cap)
+        ]
+        if not coverable:
+            return AdmissionDecision(
+                REJECT,
+                "no cached schedule candidate covers required PU "
+                f"classes {sorted(spec.required_classes)} within the "
+                "partition cap",
+            )
+
+        free = placement.free_classes()
+        fitting = [
+            c for c in coverable
+            if set(c.schedule.pu_classes_used) <= free
+        ]
+        if not fitting:
+            return self._defer(
+                spec, queued,
+                "required PU classes are held by running tenants "
+                "(no-oversubscription)",
+            )
+
+        # Pick the candidate: impact ceiling first, then the soft
+        # placement preference, then modelled latency under today's
+        # load, then offline rank as the deterministic tiebreak.
+        best: Optional[ScheduleCandidate] = None
+        best_key = None
+        best_impact: Dict[str, float] = {}
+        for candidate in fitting:
+            impact = self._impact(candidate, running)
+            worst = max(impact.values(), default=1.0)
+            latency = self._loaded_prediction(plan, candidate, running)
+            dispreferred = not (
+                spec.preferred_classes
+                <= set(candidate.schedule.pu_classes_used)
+            )
+            key = (worst > self.max_impact_ratio, dispreferred,
+                   latency, candidate.rank)
+            if best_key is None or key < best_key:
+                best, best_key, best_impact = candidate, key, impact
+        assert best is not None and best_key is not None
+        if best_key[0]:
+            worst_tenant = max(best_impact, key=lambda t: best_impact[t])
+            return self._defer(
+                spec, queued,
+                f"predicted {best_impact[worst_tenant]:.2f}x slowdown "
+                f"on tenant {worst_tenant!r} exceeds the "
+                f"{self.max_impact_ratio:.2f}x impact ceiling",
+            )
+        return AdmissionDecision(
+            ADMIT,
+            f"candidate rank {best.rank} fits free PUs "
+            f"{sorted(set(best.schedule.pu_classes_used))}",
+            candidate=best,
+            predicted_latency_s=best_key[2],
+            predicted_impact=best_impact,
+        )
+
+    # ------------------------------------------------------------------
+    def _defer(
+        self, spec: TenantSpec, queued: int, why: str
+    ) -> AdmissionDecision:
+        if queued < self.queue_capacity:
+            return AdmissionDecision(QUEUE, why)
+        return AdmissionDecision(
+            REJECT,
+            f"{why}; backpressure queue is full "
+            f"({queued}/{self.queue_capacity})",
+        )
+
+    def _impact(
+        self,
+        candidate: ScheduleCandidate,
+        running: Mapping[str, TenantRecord],
+    ) -> Dict[str, float]:
+        """Predicted slowdown per running tenant if ``candidate`` runs.
+
+        A co-tenant's interference-heavy table was measured with every
+        other PU saturated; admitting a job that occupies a fraction
+        ``x`` of the co-tenant's "other" PUs is modelled as moving its
+        latency ``x`` of the way from isolated to interference-heavy.
+        """
+        newly_busy = set(candidate.schedule.pu_classes_used)
+        impact: Dict[str, float] = {}
+        for name, record in running.items():
+            if record.plan is None or record.schedule is None:
+                continue
+            others = self._schedulable - set(record.partition)
+            if not others:
+                impact[name] = 1.0
+                continue
+            fraction = len(newly_busy & others) / len(others)
+            span = record.plan.contention_span(record.schedule)
+            impact[name] = 1.0 + fraction * (span - 1.0)
+        return impact
+
+    def _loaded_prediction(
+        self,
+        plan,
+        candidate: ScheduleCandidate,
+        running: Mapping[str, TenantRecord],
+    ) -> float:
+        """The candidate's latency given today's co-tenants, by the
+        same isolated->interference interpolation."""
+        own = set(candidate.schedule.pu_classes_used)
+        others = self._schedulable - own
+        busy = set()
+        for record in running.values():
+            busy |= set(record.partition)
+        fraction = len(busy & others) / len(others) if others else 0.0
+        isolated = plan.isolated_prediction(candidate.schedule)
+        interference = plan.interference_prediction(candidate.schedule)
+        return isolated + fraction * (interference - isolated)

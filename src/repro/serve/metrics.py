@@ -1,0 +1,136 @@
+"""Deterministic serving metrics and the final serve report.
+
+Everything here is pure arithmetic over recorded window measurements -
+no wall clock, no RNG - so a serve run's report is byte-identical
+across repeats with the same seed (the acceptance property the soak
+test asserts by comparing serialized reports).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence
+
+from repro.errors import ServeError
+from repro.serve.tenant import TenantRecord
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Linear-interpolation percentile (numpy's default method),
+    implemented in pure python so reports never depend on an optional
+    import being present."""
+    if not samples:
+        raise ServeError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ServeError(f"percentile q={q} out of [0, 100]")
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    low = math.floor(rank)
+    high = math.ceil(rank)
+    if low == high:
+        return ordered[low]
+    weight = rank - low
+    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+
+
+@dataclass(frozen=True)
+class TenantMetrics:
+    """Latency summary of one tenant's served windows."""
+
+    tenant: str
+    status: str
+    windows_served: int
+    reschedules: int
+    mean_latency_s: float
+    p50_latency_s: float
+    p95_latency_s: float
+    max_latency_s: float
+
+    @classmethod
+    def from_record(cls, record: TenantRecord) -> "TenantMetrics":
+        samples = record.per_item_latencies()
+        if not samples:
+            return cls(
+                tenant=record.name,
+                status=record.status,
+                windows_served=0,
+                reschedules=record.reschedules,
+                mean_latency_s=0.0,
+                p50_latency_s=0.0,
+                p95_latency_s=0.0,
+                max_latency_s=0.0,
+            )
+        return cls(
+            tenant=record.name,
+            status=record.status,
+            windows_served=record.windows_done,
+            reschedules=record.reschedules,
+            mean_latency_s=sum(samples) / len(samples),
+            p50_latency_s=percentile(samples, 50.0),
+            p95_latency_s=percentile(samples, 95.0),
+            max_latency_s=max(samples),
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tenant": self.tenant,
+            "status": self.status,
+            "windows_served": self.windows_served,
+            "reschedules": self.reschedules,
+            "mean_latency_s": round(self.mean_latency_s, 9),
+            "p50_latency_s": round(self.p50_latency_s, 9),
+            "p95_latency_s": round(self.p95_latency_s, 9),
+            "max_latency_s": round(self.max_latency_s, 9),
+        }
+
+
+@dataclass(frozen=True)
+class ServeReport:
+    """The serialized outcome of one serving run."""
+
+    platform: str
+    seed: int
+    ticks: int
+    rescheduling_enabled: bool
+    tenants: Mapping[str, TenantMetrics]
+    timeline: Sequence[Mapping[str, object]]
+    plan_cache: Mapping[str, int]
+
+    def to_dict(self) -> Dict[str, object]:
+        """Stable dict for :func:`repro.serialization.write_json_report`.
+
+        Keys are emitted in sorted tenant order so two runs with the
+        same seed serialize byte-identically.
+        """
+        return {
+            "platform": self.platform,
+            "seed": self.seed,
+            "ticks": self.ticks,
+            "rescheduling_enabled": self.rescheduling_enabled,
+            "tenants": {
+                name: self.tenants[name].to_dict()
+                for name in sorted(self.tenants)
+            },
+            "timeline": list(self.timeline),
+            "plan_cache": dict(self.plan_cache),
+        }
+
+
+def fleet_p95(metrics: Mapping[str, TenantMetrics]) -> float:
+    """Worst per-tenant p95 - the serving layer's headline number."""
+    served = [m.p95_latency_s for m in metrics.values()
+              if m.windows_served > 0]
+    if not served:
+        return 0.0
+    return max(served)
+
+
+def merge_latencies(records: List[TenantRecord]) -> List[float]:
+    """All per-item samples across tenants (for fleet-wide percentiles)."""
+    out: List[float] = []
+    for record in records:
+        out.extend(record.per_item_latencies())
+    return out

@@ -1,0 +1,193 @@
+"""Seeded serving scenarios: the soak workload behind CLI, CI, tests.
+
+One scenario definition drives three consumers - ``repro serve``'s
+demo mode, the CI smoke job, and the acceptance soak test - so they
+all exercise the same code path and the determinism guarantee is
+tested on exactly what ships.
+
+The soak scenario packs three concurrent tenants onto disjoint PU
+partitions of one SoC (partition cap 1, so pixel7a's four clusters
+hold all three with one to spare), pins the drift victim to a known
+class so interference can be injected *on* that class mid-run, and
+adds a fourth submission whose required class is already taken - the
+admission controller must reject it (no-oversubscription with the
+backpressure queue disabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.apps.synthetic import build_synthetic_application
+from repro.core.stage import Application, Stage
+from repro.errors import ServeError
+from repro.kernels.base import CPU, GPU
+from repro.serve.server import DriftSpec, PipelineServer, ServerConfig
+from repro.serve.tenant import TenantSpec
+from repro.soc.platforms import get_platform
+from repro.soc.workprofile import WorkProfile
+
+#: The class the drift victim is pinned to (and drift injected on).
+DRIFT_CLASS = "big"
+#: The class the high-priority tenant and the doomed probe both need.
+CONTESTED_CLASS = "gpu"
+
+
+def _memory_bound_application(seed: int, stage_count: int) -> Application:
+    """The drift victim's workload: a bandwidth-limited streaming app.
+
+    Memory-bound stages are nearly core-class-insensitive (every CPU
+    cluster is limited by the same DRAM), which is what makes fleeing
+    a contended cluster *profitable*: the weaker core costs little,
+    the time-sharing penalty on the contended one costs a lot.  A
+    compute-bound app would rather sit out the drift on the big cores.
+    """
+
+    def kernel(task):
+        task["payload"] += np.float32(1.0)
+
+    rng = np.random.default_rng(600_000 + seed)
+    stages = []
+    for index in range(stage_count):
+        flops = 18e6 * float(rng.uniform(0.85, 1.15))
+        stages.append(Stage(
+            name=f"stream-{index}",
+            work=WorkProfile(
+                flops=flops,
+                bytes_moved=flops / 2.0,  # 2 flop/byte: DRAM-limited
+                parallelism=2e5,
+                parallel_fraction=0.98,
+                divergence=0.05,
+                irregularity=0.10,
+                cpu_efficiency=0.45,
+                gpu_efficiency=0.30,
+            ),
+            kernels={CPU: kernel, GPU: kernel},
+        ))
+
+    def make_task(task_seed: int) -> Dict[str, np.ndarray]:
+        task_rng = np.random.default_rng(700_000 + task_seed)
+        return {"payload": task_rng.random(256).astype(np.float32)}
+
+    return Application(
+        name=f"serve-membound-{seed}",
+        stages=stages,
+        make_task=make_task,
+        description="Bandwidth-limited streaming pipeline (soak drift "
+                    "victim)",
+        input_kind="Synthetic",
+    )
+
+
+@dataclass(frozen=True)
+class SoakScenario:
+    """Parameters of one deterministic soak run."""
+
+    platform_name: str = "pixel7a"
+    seed: int = 7
+    windows: int = 30
+    window_tasks: int = 10
+    stage_count: int = 3
+    drift_start_tick: int = 4
+    drift_fraction: float = 0.8
+    drift_demand_gbps: float = 4.0
+    max_ticks: int = 48
+
+    def __post_init__(self) -> None:
+        if self.windows < 8:
+            raise ServeError(
+                "soak needs >= 8 windows for a meaningful p95"
+            )
+        if not 0.0 < self.drift_fraction <= 1.0:
+            raise ServeError("drift_fraction must be in (0, 1]")
+        if self.drift_start_tick < 2:
+            raise ServeError(
+                "drift must start after the baseline window (tick >= 2)"
+            )
+
+
+def build_soak_server(
+    scenario: SoakScenario, reschedule: bool = True
+) -> PipelineServer:
+    """A fully-loaded server, ready to :meth:`~PipelineServer.run`.
+
+    Tenants (admitted in submission order on tick 0):
+
+    * ``tenant-gpu``   - needs the GPU (hard), priority 0;
+    * ``tenant-drift`` - *prefers* the drift class (soft, so the
+      rescheduler may flee it later), priority 1;
+    * ``tenant-bg``    - prefers the little cores, priority 0; leaves
+      the medium cluster free as the drift victim's escape hatch;
+    * ``tenant-probe`` - needs the GPU *after* ``tenant-gpu`` holds it;
+      with the queue disabled, admission must reject it.
+    """
+    platform = get_platform(scenario.platform_name,
+                            seed=scenario.seed)
+    for needed in (DRIFT_CLASS, CONTESTED_CLASS, "little"):
+        if needed not in platform.schedulable_classes():
+            raise ServeError(
+                f"soak scenario needs PU class {needed!r}; platform "
+                f"{platform.name!r} lacks it"
+            )
+    server = PipelineServer(
+        platform,
+        seed=scenario.seed,
+        config=ServerConfig(
+            max_ticks=scenario.max_ticks,
+            queue_capacity=0,
+            max_partition_classes=1,
+            candidates_k=8,
+            reschedule=reschedule,
+        ),
+    )
+
+    def app(offset: int):
+        return build_synthetic_application(
+            seed=scenario.seed + offset,
+            stage_count=scenario.stage_count,
+        )
+
+    common = dict(windows=scenario.windows,
+                  window_tasks=scenario.window_tasks)
+    server.submit(TenantSpec(
+        name="tenant-gpu", application=app(1), priority=0,
+        required_classes=frozenset({CONTESTED_CLASS}), **common,
+    ))
+    server.submit(TenantSpec(
+        name="tenant-drift",
+        application=_memory_bound_application(
+            scenario.seed + 2, scenario.stage_count
+        ),
+        priority=1,
+        preferred_classes=frozenset({DRIFT_CLASS}), **common,
+    ))
+    server.submit(TenantSpec(
+        name="tenant-bg", application=app(3), priority=0,
+        preferred_classes=frozenset({"little"}), **common,
+    ))
+    # Same application as tenant-gpu: exercises the plan cache *and*
+    # guarantees its required class is already held.
+    server.submit(TenantSpec(
+        name="tenant-probe", application=app(1), priority=2,
+        required_classes=frozenset({CONTESTED_CLASS}), **common,
+    ))
+    server.inject_drift(DriftSpec(
+        start_tick=scenario.drift_start_tick,
+        busy={DRIFT_CLASS: scenario.drift_fraction},
+        demand_gbps=scenario.drift_demand_gbps,
+    ))
+    return server
+
+
+def run_soak(
+    scenario: SoakScenario,
+    reschedule: bool = True,
+    timeout_s: float = 300.0,
+) -> Tuple[PipelineServer, "object"]:
+    """Build, run, and drain one soak; returns (server, report)."""
+    server = build_soak_server(scenario, reschedule=reschedule)
+    report = server.run(timeout_s=timeout_s)
+    return server, report

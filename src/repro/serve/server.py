@@ -1,0 +1,551 @@
+"""The multi-tenant pipeline server: one supervised loop, many tenants.
+
+Architecture (deliberately boring, for determinism's sake):
+
+* **One request-loop thread** owns every mutable serving structure -
+  the tenant registry, the placement map, the backpressure queue.  It
+  is created through :func:`repro.runtime.watchdog.supervised_thread`
+  and beats a heartbeat every tick, so the same watchdog machinery
+  that guards kernel dispatches also catches a wedged control loop.
+* **Submissions cross threads** through a single lock-guarded inbox
+  (:func:`~repro.analysis.lock_order.checked_lock`, so the race
+  checker sees it).  Everything after the inbox is single-threaded.
+* **Virtual time only.**  Tenant windows execute on the discrete-event
+  simulator; a *tick* of the serve loop runs one window for every
+  running tenant.  With all submissions made before :meth:`start` the
+  entire run - admissions, windows, reschedules, evictions, the final
+  report - is a pure function of (platform, specs, drifts, seed), which
+  is what makes the soak test's byte-determinism assertion possible.
+
+Per tick the loop: drains the inbox through the admission controller,
+retries the backpressure queue (a completed tenant may have freed the
+PUs a queued one needs), then serves one window per running tenant -
+each simulated under the :class:`~repro.soc.interference.ExternalLoad`
+formed by its co-tenants' offered loads plus any injected drift - and
+finally lets the online rescheduler react to drifted measurements.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Mapping, Optional
+
+from repro.analysis.lock_order import checked_lock
+from repro.core.plan_cache import PlanCache
+from repro.errors import ReproError, ServeError
+from repro.runtime.simulator import SimulatedPipelineExecutor
+from repro.runtime.trace import Span
+from repro.runtime.watchdog import (
+    Heartbeat,
+    Watchdog,
+    WatchdogConfig,
+    supervised_thread,
+)
+from repro.serve.admission import ADMIT, QUEUE, AdmissionController
+from repro.serve.metrics import ServeReport, TenantMetrics
+from repro.serve.placement import PlacementMap, tenant_offered_load
+from repro.serve.rescheduler import EVICT, SWITCH, OnlineRescheduler
+from repro.serve.tenant import (
+    COMPLETED,
+    EVICTED,
+    FAILED,
+    QUEUED,
+    REJECTED,
+    RUNNING,
+    TenantRecord,
+    TenantSpec,
+    WindowResult,
+)
+from repro.soc.interference import ExternalLoad
+from repro.soc.platform import Platform
+
+
+@dataclass(frozen=True)
+class DriftSpec:
+    """Injected outside interference, active over a tick range.
+
+    Models load the server does not control (a foreground app on a
+    phone, another container on a Jetson): per-class busy fractions
+    plus DRAM bandwidth demand, applied to *every* tenant's external
+    load while active.
+    """
+
+    start_tick: int
+    busy: Mapping[str, float] = field(default_factory=dict)
+    demand_gbps: float = 0.0
+    end_tick: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.start_tick < 0:
+            raise ServeError("start_tick must be >= 0")
+        if self.end_tick is not None and self.end_tick <= self.start_tick:
+            raise ServeError("end_tick must be > start_tick")
+
+    def active_at(self, tick: int) -> bool:
+        if tick < self.start_tick:
+            return False
+        return self.end_tick is None or tick < self.end_tick
+
+    def load(self) -> ExternalLoad:
+        return ExternalLoad(busy=dict(self.busy),
+                            demand_gbps=self.demand_gbps)
+
+
+@dataclass
+class ServerConfig:
+    """Knobs for one serving run."""
+
+    max_ticks: int = 64
+    queue_capacity: int = 4
+    max_impact_ratio: float = 1.5
+    max_partition_classes: Optional[int] = None
+    drift_threshold: float = 1.2
+    min_gain: float = 0.02
+    patience: int = 2
+    reschedule: bool = True
+    profiling_repetitions: int = 3
+    candidates_k: int = 8
+    stall_timeout_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.max_ticks < 1:
+            raise ServeError("max_ticks must be >= 1")
+
+
+class PipelineServer:
+    """Serve streaming pipeline tenants on one shared virtual SoC."""
+
+    def __init__(
+        self,
+        platform: Platform,
+        seed: int = 0,
+        config: Optional[ServerConfig] = None,
+    ):
+        self.platform = platform
+        self.seed = seed
+        self.config = config or ServerConfig()
+        self.plan_cache = PlanCache(
+            platform,
+            repetitions=self.config.profiling_repetitions,
+            k=self.config.candidates_k,
+        )
+        self.placement = PlacementMap(platform.schedulable_classes())
+        self.admission = AdmissionController(
+            platform,
+            self.plan_cache,
+            queue_capacity=self.config.queue_capacity,
+            max_impact_ratio=self.config.max_impact_ratio,
+            max_partition_classes=self.config.max_partition_classes,
+        )
+        self.rescheduler = OnlineRescheduler(
+            platform,
+            drift_threshold=self.config.drift_threshold,
+            min_gain=self.config.min_gain,
+            patience=self.config.patience,
+        )
+        self.records: Dict[str, TenantRecord] = {}
+        self.timeline: List[Dict[str, object]] = []
+        #: Tenant-tagged spans from each tenant's last served window
+        #: (the multi-tenant Gantt input).
+        self.trace_spans: List[Span] = []
+        self.ticks_executed = 0
+
+        self._inbox: Deque[TenantSpec] = deque()
+        self._inbox_lock = checked_lock("serve.inbox-lock")
+        self._queue: List[str] = []
+        self._drifts: List[DriftSpec] = []
+        self._patience: Dict[str, int] = {}
+        self._admission_counter = 0
+        self._names = set()
+
+        self._heartbeat = Heartbeat(0, "serve-loop")
+        self._watchdog = Watchdog(
+            [self._heartbeat],
+            WatchdogConfig(stall_timeout_s=self.config.stall_timeout_s),
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._done = threading.Event()
+        self._stop_requested = threading.Event()
+        self._started = False
+        self._loop_error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(self, spec: TenantSpec) -> None:
+        """Queue one job for admission.
+
+        Submissions made before :meth:`start` are processed in order on
+        the first tick, which keeps the whole run deterministic;
+        submitting to a live server is allowed but lands on whichever
+        tick the loop reaches next.
+        """
+        if self._done.is_set():
+            raise ServeError(
+                f"server has drained; cannot submit {spec.name!r}"
+            )
+        with self._inbox_lock:
+            if spec.name in self._names:
+                raise ServeError(
+                    f"tenant name {spec.name!r} already submitted"
+                )
+            self._names.add(spec.name)
+            self._inbox.append(spec)
+
+    def inject_drift(self, drift: DriftSpec) -> None:
+        """Register outside interference (before :meth:`start`)."""
+        if self._started:
+            raise ServeError(
+                "inject_drift() must be called before start() so runs "
+                "stay reproducible"
+            )
+        self._drifts.append(drift)
+
+    def start(self) -> None:
+        """Boot the supervised request loop."""
+        if self._started:
+            raise ServeError("server already started")
+        self._started = True
+        self._watchdog.start()
+        self._thread = supervised_thread(
+            "serve-loop", self._loop, self._heartbeat, self._watchdog
+        )
+        self._thread.start()
+
+    def drain(self, timeout_s: Optional[float] = None) -> ServeReport:
+        """Wait until every tenant reaches a terminal state, then stop
+        the supervision machinery and return the report."""
+        if not self._started or self._thread is None:
+            raise ServeError("server was never started")
+        if not self._done.wait(timeout_s):
+            self._stop_requested.set()
+            raise ServeError(
+                f"server did not drain within {timeout_s}s "
+                f"(tick {self.ticks_executed})"
+            )
+        self._thread.join()
+        self._watchdog.stop()
+        if self._loop_error is not None:
+            raise ServeError(
+                f"serve loop aborted: {self._loop_error}"
+            )
+        return self.report()
+
+    def stop(self) -> None:
+        """Request an early stop and wait for the loop to exit."""
+        self._stop_requested.set()
+        if self._thread is not None:
+            self._done.wait()
+            self._thread.join()
+            self._watchdog.stop()
+
+    def run(self, timeout_s: Optional[float] = None) -> ServeReport:
+        """Convenience: :meth:`start` + :meth:`drain`."""
+        self.start()
+        return self.drain(timeout_s)
+
+    def report(self) -> ServeReport:
+        """The (deterministic) serving report for the run so far."""
+        return ServeReport(
+            platform=self.platform.name,
+            seed=self.seed,
+            ticks=self.ticks_executed,
+            rescheduling_enabled=self.config.reschedule,
+            tenants={
+                name: TenantMetrics.from_record(record)
+                for name, record in self.records.items()
+            },
+            timeline=list(self.timeline),
+            plan_cache=self.plan_cache.stats(),
+        )
+
+    # ------------------------------------------------------------------
+    # Request loop (single thread; owns all serving state)
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        try:
+            for tick in range(self.config.max_ticks):
+                if self._stop_requested.is_set():
+                    break
+                self._heartbeat.start_task(tick)
+                self._tick(tick)
+                self._heartbeat.idle()
+                self.ticks_executed = tick + 1
+                if self._drained():
+                    break
+        except ReproError as error:
+            self._loop_error = str(error)
+        finally:
+            self._close_out()
+            self._done.set()
+
+    def _drained(self) -> bool:
+        with self._inbox_lock:
+            pending = len(self._inbox)
+        if pending:
+            return False
+        return all(record.done for record in self.records.values())
+
+    def _close_out(self) -> None:
+        """Terminal states for whatever the loop left behind."""
+        with self._inbox_lock:
+            leftovers = list(self._inbox)
+            self._inbox.clear()
+        for spec in leftovers:
+            record = TenantRecord(spec=spec, status=REJECTED,
+                                  status_detail="server stopped before "
+                                                "admission")
+            self.records[spec.name] = record
+        for record in self.records.values():
+            if record.done:
+                continue
+            if record.status == RUNNING:
+                self.placement.release(record.name)
+            detail = (self._loop_error
+                      or "tick budget exhausted before completion")
+            if record.status == QUEUED:
+                record.status = REJECTED
+                record.status_detail = (
+                    "queued until the server drained (backpressure)"
+                )
+            else:
+                record.status = FAILED
+                record.status_detail = detail
+
+    # -- one tick -------------------------------------------------------
+    def _tick(self, tick: int) -> None:
+        self._admit_new(tick)
+        self._retry_queued(tick)
+        self._serve_windows(tick)
+
+    def _event(self, tick: int, event: str, tenant: str,
+               **extra: object) -> None:
+        entry: Dict[str, object] = {
+            "tick": tick, "event": event, "tenant": tenant,
+        }
+        entry.update(extra)
+        self.timeline.append(entry)
+
+    def _admit_new(self, tick: int) -> None:
+        while True:
+            with self._inbox_lock:
+                if not self._inbox:
+                    return
+                spec = self._inbox.popleft()
+            record = TenantRecord(spec=spec)
+            self.records[spec.name] = record
+            self._decide(tick, record)
+
+    def _retry_queued(self, tick: int) -> None:
+        for name in list(self._queue):
+            record = self.records[name]
+            decision = self.admission.evaluate(
+                record.spec, self.placement, self._running(),
+                queued=len(self._queue) - 1,
+            )
+            if decision.action == ADMIT:
+                self._queue.remove(name)
+                self._deploy(tick, record, decision)
+
+    def _decide(self, tick: int, record: TenantRecord) -> None:
+        decision = self.admission.evaluate(
+            record.spec, self.placement, self._running(),
+            queued=len(self._queue),
+        )
+        if decision.action == ADMIT:
+            self._deploy(tick, record, decision)
+        elif decision.action == QUEUE:
+            record.status = QUEUED
+            record.status_detail = decision.reason
+            self._queue.append(record.name)
+            self._event(tick, "queue", record.name,
+                        reason=decision.reason)
+        else:
+            record.status = REJECTED
+            record.status_detail = decision.reason
+            self._event(tick, "reject", record.name,
+                        reason=decision.reason)
+
+    def _deploy(self, tick: int, record: TenantRecord, decision) -> None:
+        assert decision.candidate is not None
+        spec = record.spec
+        plan = self.plan_cache.plan_for(spec.application)
+        schedule = decision.candidate.schedule
+        record.partition = self.placement.assign(
+            spec.name, spec.application, schedule
+        )
+        record.plan = plan
+        record.schedule = schedule
+        record.candidates = plan.optimization.candidates
+        record.status = RUNNING
+        record.status_detail = decision.reason
+        record.admission_order = self._admission_counter
+        self._admission_counter += 1
+        self._patience[spec.name] = 0
+        self._event(
+            tick, "admit", spec.name,
+            partition=sorted(record.partition),
+            predicted_latency_s=round(decision.predicted_latency_s, 9),
+        )
+
+    # -- window serving -------------------------------------------------
+    def _running(self) -> Dict[str, TenantRecord]:
+        running = {
+            name: record for name, record in self.records.items()
+            if record.status == RUNNING
+        }
+        return dict(sorted(
+            running.items(), key=lambda kv: kv[1].admission_order
+        ))
+
+    def _external_for(self, name: str, tick: int) -> ExternalLoad:
+        """Everything tenant ``name`` sees on the SoC besides itself."""
+        loads = []
+        for other, record in self._running().items():
+            if other == name:
+                continue
+            assert record.plan is not None and record.schedule is not None
+            loads.append(tenant_offered_load(
+                record.spec.application, record.plan.isolated,
+                record.schedule, self.platform,
+            ))
+        for drift in self._drifts:
+            if drift.active_at(tick):
+                loads.append(drift.load())
+        return ExternalLoad.combined(loads)
+
+    def _serve_windows(self, tick: int) -> None:
+        for name, record in self._running().items():
+            self._heartbeat.check_cancelled()
+            try:
+                self._serve_one_window(tick, name, record)
+            except ReproError as error:
+                if name in self.placement.partitions:
+                    self.placement.release(name)
+                record.status = FAILED
+                record.status_detail = str(error)
+                self._event(tick, "fail", name, reason=str(error))
+
+    def _serve_one_window(self, tick: int, name: str,
+                          record: TenantRecord) -> None:
+        assert record.plan is not None and record.schedule is not None
+        external = self._external_for(name, tick)
+        executor = SimulatedPipelineExecutor(
+            record.spec.application,
+            record.schedule.chunks(),
+            self.platform,
+            external_load=external,
+            tenant=name,
+        )
+        result = executor.run(record.spec.window_tasks,
+                              record_trace=True)
+        measured = result.steady_interval_s
+        regime = self.rescheduler.classify(record, measured)
+        record.windows_done += 1
+        record.history.append(WindowResult(
+            window_index=record.windows_done - 1,
+            schedule=record.schedule,
+            measured_latency_s=measured,
+            external_busy_classes=sorted(external.busy),
+            regime=regime,
+        ))
+        self._event(tick, "window", name,
+                    window=record.windows_done - 1,
+                    latency_s=round(measured, 9), regime=regime)
+
+        if record.windows_done >= record.spec.windows:
+            self.placement.release(name)
+            record.status = COMPLETED
+            record.status_detail = (
+                f"served {record.windows_done} windows"
+            )
+            self._event(tick, "complete", name,
+                        windows=record.windows_done)
+            self._record_trace(record, result.spans)
+            return
+        self._record_trace(record, result.spans)
+
+        if record.baseline_latency_s is None:
+            # First window on this schedule: the drift reference point.
+            record.baseline_latency_s = measured
+            return
+        if not self.config.reschedule:
+            return
+        if not self.rescheduler.drifted(record, measured):
+            self._patience[name] = 0
+            return
+        self._react_to_drift(tick, name, record, external, measured)
+
+    def _record_trace(self, record: TenantRecord,
+                      spans: List[Span]) -> None:
+        """Keep only each tenant's most recent window of spans."""
+        self.trace_spans = [
+            span for span in self.trace_spans
+            if span.tenant != record.name
+        ]
+        self.trace_spans.extend(spans)
+
+    # -- drift reaction -------------------------------------------------
+    def _react_to_drift(self, tick: int, name: str,
+                        record: TenantRecord,
+                        external: ExternalLoad,
+                        measured: float) -> None:
+        action = self.rescheduler.rerank(
+            record, external, self.placement.free_classes()
+        )
+        if action.kind == SWITCH:
+            assert action.candidate is not None
+            schedule = action.candidate.schedule
+            record.partition = self.placement.reassign(
+                name, record.spec.application, schedule
+            )
+            record.schedule = schedule
+            record.baseline_latency_s = None
+            record.reschedules += 1
+            self._patience[name] = 0
+            self._event(
+                tick, "reschedule", name,
+                rank=action.candidate.rank,
+                partition=sorted(record.partition),
+                measured_s=round(measured, 9),
+                predicted_s=round(action.predicted_latency_s, 9),
+            )
+            return
+        self._patience[name] = self._patience.get(name, 0) + 1
+        exhausted = self._patience[name] >= self.config.patience
+        if action.kind == EVICT or exhausted:
+            if self._evict_for(tick, record):
+                self._patience[name] = 0
+                return
+        self._event(tick, "hold", name, reason=action.reason,
+                    patience=self._patience[name])
+
+    def _evict_for(self, tick: int, sufferer: TenantRecord) -> bool:
+        """Eviction fallback: remove the lowest-priority running tenant
+        strictly below the drifted tenant, freeing its PUs for the next
+        re-rank.  Returns False when nobody qualifies (the sufferer is
+        itself the lowest priority - it just has to cope)."""
+        candidates = [
+            record for record in self._running().values()
+            if record.name != sufferer.name
+            and record.priority < sufferer.priority
+        ]
+        if not candidates:
+            return False
+        victim = min(
+            candidates,
+            key=lambda r: (r.priority, -r.admission_order),
+        )
+        self.placement.release(victim.name)
+        victim.status = EVICTED
+        victim.status_detail = (
+            f"evicted at tick {tick} to relieve contention on "
+            f"{sufferer.name!r} (priority {victim.priority} < "
+            f"{sufferer.priority})"
+        )
+        self._event(tick, "evict", victim.name,
+                    beneficiary=sufferer.name,
+                    priority=victim.priority)
+        return True

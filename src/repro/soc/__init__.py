@@ -12,8 +12,10 @@ from repro.soc.affinity import AffinityEntry, AffinityMap
 from repro.soc.cost_model import CostBreakdown, cpu_cost, gpu_cost, pu_cost
 from repro.soc.interference import (
     DvfsCurve,
+    ExternalLoad,
     InterferenceModel,
     co_load_fraction,
+    external_co_load,
 )
 from repro.soc.platform import Platform
 from repro.soc.energy import (
@@ -55,6 +57,7 @@ __all__ = [
     "CpuCluster",
     "DvfsCurve",
     "EnergyReport",
+    "ExternalLoad",
     "GPU",
     "Gpu",
     "InterferenceModel",
@@ -70,6 +73,7 @@ __all__ = [
     "co_load_fraction",
     "cpu_cost",
     "estimate_energy",
+    "external_co_load",
     "get_platform",
     "gpu_cost",
     "jetson_orin_nano",

@@ -25,7 +25,7 @@ model's parameters.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Dict, Iterable, Mapping, Optional, Set
 
 from repro.errors import PlatformError
 
@@ -114,6 +114,105 @@ class InterferenceModel:
         bandwidth = self.bandwidth_factor(demand_gbps, total_demand_gbps)
         beta = memory_boundedness
         return 1.0 / ((1.0 - beta) / compute + beta / bandwidth)
+
+
+@dataclass(frozen=True)
+class ExternalLoad:
+    """Co-runner load from *outside* one pipeline's own chunks.
+
+    The single-pipeline simulator derives interference from its own
+    active set; a multi-tenant SoC adds co-runners the pipeline cannot
+    see: other tenants' chunks on other PU classes, and foreign
+    processes pinned anywhere.  This is the accounting object the
+    serving layer hands the simulator:
+
+    Attributes:
+        busy: PU class -> fraction of time that class is kept busy by
+            external co-runners (0 = idle, 1 = saturated).
+        demand_gbps: Total DRAM bandwidth the external co-runners draw
+            (contends with the pipeline on the shared memory
+            controller).
+
+    Busy load on a *different* class feeds the DVFS ``co_load`` input;
+    busy load on the *same* class models time-sharing and divides the
+    achievable rate by ``1 + fraction`` (fair-share scheduling of two
+    co-located apps on one cluster).
+    """
+
+    busy: Mapping[str, float] = field(default_factory=dict)
+    demand_gbps: float = 0.0
+
+    def __post_init__(self) -> None:
+        for pu_class, fraction in self.busy.items():
+            if not 0.0 <= fraction <= 1.0:
+                raise PlatformError(
+                    f"external busy fraction for {pu_class!r} must be "
+                    f"in [0, 1], got {fraction}"
+                )
+        if self.demand_gbps < 0.0:
+            raise PlatformError("external demand_gbps must be >= 0")
+
+    @property
+    def is_empty(self) -> bool:
+        return self.demand_gbps == 0.0 and not any(
+            fraction > 0.0 for fraction in self.busy.values()
+        )
+
+    def combine(self, other: Optional["ExternalLoad"]) -> "ExternalLoad":
+        """Superpose two external loads.
+
+        Busy fractions add and saturate at 1.0 (two co-runners cannot
+        keep one cluster more than fully busy); bandwidth demands add
+        unboundedly (the memory controller sees the sum).
+        """
+        if other is None or other.is_empty:
+            return self
+        busy: Dict[str, float] = dict(self.busy)
+        for pu_class, fraction in other.busy.items():
+            busy[pu_class] = min(busy.get(pu_class, 0.0) + fraction, 1.0)
+        return ExternalLoad(
+            busy=busy, demand_gbps=self.demand_gbps + other.demand_gbps
+        )
+
+    @classmethod
+    def none(cls) -> "ExternalLoad":
+        return cls()
+
+    @classmethod
+    def combined(
+        cls, loads: Iterable[Optional["ExternalLoad"]]
+    ) -> "ExternalLoad":
+        """Superpose any number of loads (tenants plus injected drift)."""
+        total = cls()
+        for load in loads:
+            if load is not None:
+                total = total.combine(load)
+        return total
+
+
+def external_co_load(
+    busy_classes: Set[str],
+    pu_class: str,
+    external: Optional[ExternalLoad],
+    total_other_pus: int,
+) -> float:
+    """DVFS co-load for ``pu_class`` given internal *and* external load.
+
+    The pipeline's own active chunks contribute 1.0 per distinct other
+    class (they run flat out while active); external co-runners
+    contribute their busy fraction on classes the pipeline is not
+    already driving.  Saturates at 1.0, the interference-heavy
+    profiling condition.
+    """
+    if total_other_pus <= 0:
+        return 0.0
+    others = set(busy_classes) - {pu_class}
+    busy = float(len(others))
+    if external is not None:
+        for cls, fraction in external.busy.items():
+            if cls != pu_class and cls not in others:
+                busy += fraction
+    return min(busy / total_other_pus, 1.0)
 
 
 def co_load_fraction(busy_other_pus: int, total_other_pus: int) -> float:

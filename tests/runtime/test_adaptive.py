@@ -79,6 +79,55 @@ class TestDriftReaction:
         assert all(not record.retuned for record in records)
 
 
+class TestCandidateExhaustion:
+    def test_exhaustion_fails_explicitly(self, app, jetson_candidates):
+        """Failing every PU class must error out, never silently
+        dispatch onto dead hardware."""
+        pipeline = make_pipeline(app, jetson_candidates)
+        pipeline.run_window()
+        classes = sorted({
+            pu_class
+            for candidate in jetson_candidates
+            for pu_class in candidate.schedule.pu_classes_used
+        })
+        with pytest.raises(SchedulingError,
+                           match="full re-run .profiling included."):
+            for pu_class in classes:
+                pipeline.mark_pu_failed(pu_class)
+        # Every cached candidate now touches a failed PU - including
+        # the deployed schedule.
+        assert (set(pipeline.schedule.pu_classes_used)
+                & pipeline.failed_pus)
+        with pytest.raises(SchedulingError, match="failed PUs"):
+            pipeline.run_window()
+
+    def test_surviving_candidate_keeps_streaming(
+        self, app, jetson_candidates
+    ):
+        """Losing one class falls back instead of failing, as long as
+        some cached candidate avoids it."""
+        if not any(
+            "gpu" not in c.schedule.pu_classes_used
+            for c in jetson_candidates
+        ):
+            pytest.skip("no CPU-only candidate cached")
+        pipeline = make_pipeline(app, jetson_candidates)
+        pipeline.run_window()
+        pipeline.mark_pu_failed("gpu")
+        record = pipeline.run_window()
+        assert "gpu" not in record.schedule.pu_classes_used
+
+    def test_mark_failed_is_idempotent(self, app, jetson_candidates):
+        pipeline = make_pipeline(app, jetson_candidates)
+        if not any(
+            "gpu" not in c.schedule.pu_classes_used
+            for c in jetson_candidates
+        ):
+            pytest.skip("no CPU-only candidate cached")
+        pipeline.mark_pu_failed("gpu")
+        assert pipeline.mark_pu_failed("gpu") is False
+
+
 class TestValidation:
     def test_needs_candidates(self, app):
         with pytest.raises(SchedulingError):

@@ -98,6 +98,52 @@ class TestGantt:
         assert text.count("|") == 4
 
 
+class TestMultiTenantGantt:
+    """Tenant-tagged spans must render one section per tenant."""
+
+    def interleaved_spans(self):
+        # Two tenants' windows genuinely interleave in virtual time.
+        return [
+            Span(0, "big", 0, 0.0, 1.0, tenant="tenant-a"),
+            Span(0, "gpu", 0, 0.5, 1.5, tenant="tenant-b"),
+            Span(0, "big", 1, 1.0, 2.0, tenant="tenant-a"),
+            Span(0, "gpu", 1, 1.5, 2.5, tenant="tenant-b"),
+            Span(1, "little", 0, 1.0, 2.0, tenant="tenant-a"),
+        ]
+
+    def test_one_section_per_tenant(self):
+        text = format_gantt(self.interleaved_spans(), width=30)
+        assert text.count("tenant tenant-a:") == 1
+        assert text.count("tenant tenant-b:") == 1
+        # tenant-a has two chunk rows, tenant-b one.
+        a_section = text.split("tenant tenant-b:")[0]
+        assert a_section.count("|") == 4
+
+    def test_sections_sorted_by_tenant(self):
+        text = format_gantt(self.interleaved_spans(), width=30)
+        assert (text.index("tenant tenant-a:")
+                < text.index("tenant tenant-b:"))
+
+    def test_sections_share_the_time_axis(self):
+        spans = self.interleaved_spans()
+        text = format_gantt(spans, width=40)
+        # One trailing axis line, scaled to the global end time.
+        assert text.count("ms") == 1
+        assert "2500.00 ms" in text
+
+    def test_untagged_spans_render_last(self):
+        spans = self.interleaved_spans() + [
+            Span(0, "medium", 7, 0.0, 0.5)
+        ]
+        text = format_gantt(spans, width=30)
+        assert "(untagged)" in text
+        assert (text.index("tenant tenant-b:")
+                < text.index("(untagged)"))
+
+    def test_untagged_only_trace_has_no_sections(self, traced_run):
+        assert "tenant" not in format_gantt(traced_run.spans)
+
+
 class TestBubbles:
     def test_back_to_back_has_no_bubble(self):
         spans = [

@@ -1,0 +1,118 @@
+"""Serving metrics: percentiles, per-tenant summaries, report shape."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ServeError
+from repro.serve import (
+    COMPLETED,
+    RUNNING,
+    ServeReport,
+    TenantMetrics,
+    TenantRecord,
+    TenantSpec,
+    WindowResult,
+    fleet_p95,
+    merge_latencies,
+    percentile,
+)
+
+
+class TestPercentile:
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ServeError, match="empty"):
+            percentile([], 50.0)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ServeError, match="out of"):
+            percentile([1.0], 101.0)
+
+    def test_single_sample(self):
+        assert percentile([3.5], 95.0) == 3.5
+
+    @pytest.mark.parametrize("q", [0.0, 25.0, 50.0, 95.0, 100.0])
+    def test_matches_numpy_linear_interpolation(self, q):
+        rng = np.random.default_rng(123)
+        samples = list(rng.random(101))
+        assert percentile(samples, q) == pytest.approx(
+            float(np.percentile(samples, q))
+        )
+
+
+def record_with_history(app, name="t", latencies=(), window_tasks=10,
+                        status=COMPLETED):
+    record = TenantRecord(
+        spec=TenantSpec(name=name, application=app,
+                        window_tasks=window_tasks),
+        status=status,
+    )
+    for index, latency in enumerate(latencies):
+        record.history.append(WindowResult(
+            window_index=index,
+            schedule=None,
+            measured_latency_s=latency,
+            external_busy_classes=[],
+        ))
+    record.windows_done = len(record.history)
+    return record
+
+
+class TestTenantMetrics:
+    def test_unserved_tenant_zeroes(self, app):
+        metrics = TenantMetrics.from_record(record_with_history(app))
+        assert metrics.windows_served == 0
+        assert metrics.p95_latency_s == 0.0
+
+    def test_summary_over_history(self, app):
+        record = record_with_history(
+            app, latencies=[0.010, 0.010, 0.030]
+        )
+        metrics = TenantMetrics.from_record(record)
+        assert metrics.windows_served == 3
+        # 3 windows x 10 tasks: p50 sits in the fast bulk, max on the
+        # slow window.
+        assert metrics.p50_latency_s == pytest.approx(0.010)
+        assert metrics.max_latency_s == pytest.approx(0.030)
+        assert (metrics.mean_latency_s
+                == pytest.approx((0.010 + 0.010 + 0.030) / 3))
+
+    def test_to_dict_rounds(self, app):
+        record = record_with_history(app, latencies=[1 / 3])
+        payload = TenantMetrics.from_record(record).to_dict()
+        assert payload["p95_latency_s"] == round(1 / 3, 9)
+
+
+class TestReportShape:
+    def test_tenants_serialize_sorted(self, app):
+        metrics = {
+            name: TenantMetrics.from_record(
+                record_with_history(app, name=name)
+            )
+            for name in ("zeta", "alpha", "mid")
+        }
+        report = ServeReport(
+            platform="pixel7a", seed=7, ticks=3,
+            rescheduling_enabled=True, tenants=metrics,
+            timeline=[], plan_cache={},
+        )
+        assert list(report.to_dict()["tenants"]) == [
+            "alpha", "mid", "zeta"
+        ]
+
+    def test_fleet_p95_ignores_unserved(self, app):
+        served = TenantMetrics.from_record(
+            record_with_history(app, latencies=[0.020])
+        )
+        unserved = TenantMetrics.from_record(record_with_history(app))
+        assert fleet_p95({"a": served, "b": unserved}) == pytest.approx(
+            0.020
+        )
+        assert fleet_p95({"b": unserved}) == 0.0
+
+    def test_merge_latencies_weights_by_tasks(self, app):
+        records = [
+            record_with_history(app, latencies=[0.01], window_tasks=4),
+            record_with_history(app, latencies=[0.02], window_tasks=2),
+        ]
+        merged = merge_latencies(records)
+        assert sorted(merged) == [0.01] * 4 + [0.02] * 2

@@ -200,3 +200,75 @@ class TestAnalyze:
         assert "speedup ceiling" in out
         assert "bottleneck" in out
         assert "MiB" in out
+
+
+class TestListingJson:
+    def test_platforms_json(self, capsys):
+        assert main(["platforms", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        names = [row["name"] for row in payload["platforms"]]
+        assert "pixel7a" in names
+        pixel = next(r for r in payload["platforms"]
+                     if r["name"] == "pixel7a")
+        assert pixel["paper_grid"] is True
+        assert "gpu" in pixel["schedulable_classes"]
+
+    def test_apps_json(self, capsys):
+        assert main(["apps", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        octree = next(r for r in payload["applications"]
+                      if r["name"] == "octree")
+        assert octree["stages"] >= 2
+        assert octree["input_kind"]
+
+    def test_listing_out_uses_the_report_sink(self, tmp_path, capsys):
+        path = tmp_path / "platforms.json"
+        assert main(["platforms", "--out", str(path)]) == 0
+        payload = json.loads(path.read_text())
+        assert {row["name"] for row in payload["platforms"]} >= {
+            "pixel7a", "raspberry_pi5"
+        }
+
+
+class TestServe:
+    def test_soak_serves_and_rejects(self, capsys, tmp_path):
+        path = tmp_path / "serve.json"
+        code = main([
+            "serve", "--windows", "8", "--tasks", "6",
+            "--out", str(path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenant-drift" in out
+        assert "rejected" in out
+        payload = json.loads(path.read_text())
+        assert payload["tenants"]["tenant-probe"]["status"] == "rejected"
+        assert payload["tenants"]["tenant-drift"]["reschedules"] >= 1
+
+    def test_gantt_renders_tenant_sections(self, capsys):
+        code = main([
+            "serve", "--windows", "8", "--tasks", "6",
+            "--gantt", "--width", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenant tenant-drift:" in out
+        assert "tenant tenant-gpu:" in out
+
+    def test_too_few_windows_structured_error(self, capsys):
+        assert main(["serve", "--windows", "4"]) == 1
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "ServeError"
+        assert "8 windows" in err["message"]
+
+
+class TestSubmit:
+    def test_submission_completes_under_contention(self, capsys):
+        code = main([
+            "submit", "--app", "octree", "--co", "1",
+            "--windows", "3", "--require", "gpu",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "outcome: completed" in out
+        assert "gpu" in out
