@@ -15,6 +15,9 @@ section of ``docs/architecture.md``):
   quarantine machinery.
 * ``UNSUPERVISED-THREAD`` - threads are created only by the pipeline
   executor and the watchdog supervisor, never ad hoc.
+* ``UNTAGGED-SPAN`` - trace spans are built only through the
+  sanctioned factories in :mod:`repro.runtime.trace` /
+  :mod:`repro.obs`, so every span carries consistent tags.
 
 Violations are suppressed per line with ``# bt-lint: disable=RULE-ID``
 (several ids comma-separated, ``ALL`` for everything) on the offending
@@ -439,3 +442,39 @@ class UnsupervisedThreadRule(Rule):
                             "threading.Thread outside the supervision "
                             "registry",
                         )
+
+
+# ----------------------------------------------------------------------
+# UNTAGGED-SPAN
+# ----------------------------------------------------------------------
+@_register
+class UntaggedSpanRule(Rule):
+    """A ``Span(...)`` built by hand can silently omit the tenant/PU
+    tags the Gantt renderer, the Perfetto exporter, and the per-tenant
+    sectioning all key on, producing charts and traces that drop or
+    misattribute work.  Spans are built only through the sanctioned
+    factories (``repro.runtime.trace.record_span`` and the
+    :mod:`repro.obs` exporters), which take every tag explicitly."""
+
+    rule_id = "UNTAGGED-SPAN"
+    summary = ("direct Span(...) construction outside the sanctioned "
+               "repro.runtime.trace / repro.obs factories")
+    allowed_in = ("repro/runtime/trace.py",)
+
+    def applies(self, path: str) -> bool:
+        # allowed_in is suffix-matched, which cannot express "anything
+        # under the observability package" - exempt the directory here.
+        if "repro/obs/" in path.replace("\\", "/"):
+            return False
+        return super().applies(path)
+
+    def check(self, tree: ast.AST, path: str) -> Iterator[Finding]:
+        for node in ast.walk(tree):
+            if (isinstance(node, ast.Call)
+                    and _terminal_name(node.func) == "Span"):
+                yield self.finding(
+                    path, node,
+                    "direct Span(...) construction; build spans via "
+                    "repro.runtime.trace.record_span so they carry "
+                    "the tags the exporters key on",
+                )

@@ -15,6 +15,7 @@ Commands:
 * ``gantt``                    - render the deployed pipeline's Gantt chart
 * ``faultsim``                 - inject faults, exercise recovery, report
 * ``serve``                    - boot the multi-tenant serving soak scenario
+* ``trace``                    - traced run, Perfetto/Chrome or Gantt export
 * ``submit``                   - submit one job to a fresh server, report admission
 * ``lint``                     - static invariant linter over the tree
 * ``race``                     - dynamic concurrency checker (REPRO_CHECK)
@@ -351,13 +352,38 @@ def cmd_faultsim(args: argparse.Namespace) -> int:
     return 0
 
 
-def _print_serve_report(report, server) -> None:
+class _TextSink:
+    """The single sink for a command's human-readable output.
+
+    Commands with a ``--json`` mode route *every* human-oriented line
+    through one of these instead of bare ``print`` calls; in JSON mode
+    the sink swallows them, so stdout carries exactly one parseable
+    JSON document and nothing else.  Status notes that must survive
+    JSON mode (file-written confirmations) go to stderr via
+    :meth:`note`.
+    """
+
+    def __init__(self, json_mode: bool = False):
+        self.json_mode = json_mode
+
+    def line(self, text: str = "") -> None:
+        """Emit one human-readable line (dropped in ``--json`` mode)."""
+        if not self.json_mode:
+            print(text)
+
+    @staticmethod
+    def note(text: str) -> None:
+        """Out-of-band status note; always stderr, never stdout."""
+        print(text, file=sys.stderr)
+
+
+def _print_serve_report(report, server, sink: _TextSink) -> None:
     """Human-readable summary of one serving run."""
-    print(f"served {report.ticks} ticks on {report.platform} "
-          f"(seed {report.seed}, rescheduling "
-          f"{'on' if report.rescheduling_enabled else 'off'})")
-    print(f"plan cache: {report.plan_cache}")
-    print()
+    sink.line(f"served {report.ticks} ticks on {report.platform} "
+              f"(seed {report.seed}, rescheduling "
+              f"{'on' if report.rescheduling_enabled else 'off'})")
+    sink.line(f"plan cache: {report.plan_cache}")
+    sink.line()
     for name in sorted(report.tenants):
         m = report.tenants[name]
         line = (f"  {name:16s} {m.status:10s} "
@@ -369,18 +395,18 @@ def _print_serve_report(report, server) -> None:
         record = server.records.get(name)
         if record is not None and record.status_detail:
             line += f"  ({record.status_detail})"
-        print(line)
+        sink.line(line)
     events = [e for e in report.timeline
               if e["event"] in ("admit", "queue", "reject",
                                 "reschedule", "evict", "complete",
                                 "fail")]
-    print()
-    print("control-plane events:")
+    sink.line()
+    sink.line("control-plane events:")
     for event in events:
         extra = {k: v for k, v in event.items()
                  if k not in ("tick", "event", "tenant")}
-        print(f"  tick {event['tick']:>3}  {event['event']:<10} "
-              f"{event['tenant']:<16} {extra if extra else ''}")
+        sink.line(f"  tick {event['tick']:>3}  {event['event']:<10} "
+                  f"{event['tenant']:<16} {extra if extra else ''}")
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -390,7 +416,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     the CI smoke job use: three concurrent tenants packed onto
     disjoint PU partitions, injected interference drift mid-run, and a
     fourth submission the admission controller must reject.
+
+    ``--json`` prints the serve report as the only stdout output;
+    ``--trace-out`` runs the soak under observability capture and
+    exports a Chrome/Perfetto trace of the whole run.
     """
+    import repro.obs as obs
     from repro.serve import SoakScenario, build_soak_server
 
     scenario = SoakScenario(
@@ -402,15 +433,83 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     server = build_soak_server(scenario,
                                reschedule=not args.frozen)
-    report = server.run(timeout_s=args.timeout_s)
-    _print_serve_report(report, server)
+    sink = _TextSink(json_mode=args.json)
+    if args.trace_out:
+        with obs.capture() as cap:
+            report = server.run(timeout_s=args.timeout_s)
+            snapshot = cap.metrics.snapshot()
+            payload = report.to_dict()
+            payload["metrics"] = snapshot
+            trace = obs.chrome_trace(cap.events, snapshot)
+        obs.write_trace(args.trace_out, trace)
+        sink.note(f"trace ({len(cap.events)} events) saved to "
+                  f"{args.trace_out}")
+    else:
+        report = server.run(timeout_s=args.timeout_s)
+        payload = report.to_dict()
+    _print_serve_report(report, server, sink)
     if args.gantt:
-        print()
-        print("last served window per tenant:")
-        print(format_gantt(server.trace_spans, width=args.width))
+        chart = format_gantt(server.trace_spans, width=args.width)
+        sink.line()
+        sink.line("last served window per tenant:")
+        sink.line(chart)
+        payload["gantt"] = chart
+    if args.json:
+        print(json.dumps(payload, indent=2))
     if args.out:
-        write_json_report(args.out, report.to_dict())
-        print(f"\nserve report saved to {args.out}", file=sys.stderr)
+        write_json_report(args.out, payload)
+        sink.note(f"serve report saved to {args.out}")
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """Run a flow under observability capture and export its trace.
+
+    ``--serve`` traces the multi-tenant soak scenario (spans from the
+    profiler, solver, DES runtime and serving layers, correlated by
+    parent links); the default traces the offline plan flow plus one
+    traced simulated run.  Exports: ``perfetto``/``chrome`` (the same
+    Chrome trace-event JSON, loadable by Perfetto) or ``gantt`` (the
+    ASCII chart rendered from the same span tree).
+    """
+    import repro.obs as obs
+
+    with obs.capture() as cap:
+        if args.serve:
+            from repro.serve import SoakScenario, build_soak_server
+
+            scenario = SoakScenario(
+                platform_name=args.platform,
+                seed=args.seed,
+                windows=args.windows,
+                window_tasks=args.tasks,
+            )
+            server = build_soak_server(scenario, reschedule=True)
+            server.run(timeout_s=args.timeout_s)
+        else:
+            platform = _platform(args.platform)
+            application = _build_app(args.app)
+            framework = BetterTogether(
+                platform, repetitions=args.repetitions, k=args.k,
+                eval_tasks=args.eval_tasks,
+            )
+            plan = framework.run(application)
+            executor = SimulatedPipelineExecutor(
+                application, plan.schedule.chunks(), platform
+            )
+            executor.run(args.tasks, record_trace=True)
+        snapshot = cap.metrics.snapshot()
+        events = cap.events
+    if args.export == "gantt":
+        print(obs.export_gantt(events, width=args.width))
+        return 0
+    payload = obs.chrome_trace(events, snapshot)
+    if args.out:
+        obs.write_trace(args.out, payload)
+        _TextSink.note(f"trace ({len(events)} events) saved to "
+                       f"{args.out}")
+    else:
+        print(json.dumps(payload, indent=2))
     return 0
 
 
@@ -653,10 +752,41 @@ def build_parser() -> argparse.ArgumentParser:
                    help="render each tenant's last window as a "
                         "per-tenant Gantt chart")
     p.add_argument("--width", type=int, default=72)
+    p.add_argument("--json", action="store_true",
+                   help="print the serve report as JSON on stdout "
+                        "(suppresses all human-readable output)")
+    p.add_argument("--trace-out",
+                   help="run under observability capture and export a "
+                        "Chrome/Perfetto trace of the soak to this file")
     p.add_argument("--timeout-s", type=float, default=300.0,
                    help="wall-clock drain deadline")
     p.add_argument("--out", help="save the serve report as JSON")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("trace",
+                       help="run a traced flow, export Perfetto/Chrome "
+                            "trace or ASCII Gantt")
+    _add_target_args(p)
+    p.add_argument("--serve", action="store_true",
+                   help="trace the multi-tenant soak scenario instead "
+                        "of the offline plan flow")
+    p.add_argument("--seed", type=int, default=7,
+                   help="soak scenario seed (with --serve)")
+    p.add_argument("--windows", type=int, default=8,
+                   help="soak windows per tenant (with --serve)")
+    p.add_argument("--tasks", type=int, default=10,
+                   help="tasks per window / simulated run")
+    p.add_argument("--timeout-s", type=float, default=300.0,
+                   help="wall-clock drain deadline (with --serve)")
+    p.add_argument("--export",
+                   choices=("perfetto", "chrome", "gantt"),
+                   default="perfetto",
+                   help="output format (perfetto and chrome are the "
+                        "same trace-event JSON)")
+    p.add_argument("--width", type=int, default=72,
+                   help="chart width (with --export gantt)")
+    p.add_argument("--out", help="save the exported trace to a file")
+    p.set_defaults(fn=cmd_trace)
 
     p = sub.add_parser("submit",
                        help="submit one job to a fresh server and "

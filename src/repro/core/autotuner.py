@@ -18,6 +18,8 @@ from repro.core.optimizer import OptimizationResult, ScheduleCandidate
 from repro.core.schedule import validate_schedule
 from repro.core.stage import Application
 from repro.errors import SchedulingError
+from repro.obs.metrics import metrics
+from repro.obs.tracer import tracer
 from repro.runtime.simulator import SimulatedPipelineExecutor
 from repro.soc.platform import Platform
 
@@ -106,13 +108,20 @@ class Autotuner:
             candidate.schedule, self.application,
             available_pus=self.platform.schedulable_classes(),
         )
-        executor = SimulatedPipelineExecutor(
-            self.application,
-            candidate.schedule.chunks(),
-            self.platform,
-            depth=self.depth,
-        )
-        measured = executor.measure_per_task_latency(self.eval_tasks)
+        with tracer().span("autotuner.measure", "autotuner",
+                           rank=candidate.rank,
+                           predicted_s=candidate.predicted_latency_s):
+            executor = SimulatedPipelineExecutor(
+                self.application,
+                candidate.schedule.chunks(),
+                self.platform,
+                depth=self.depth,
+            )
+            measured = executor.measure_per_task_latency(self.eval_tasks)
+        reg = metrics()
+        if reg.enabled:
+            reg.counter("autotuner.measurements")
+            reg.observe("autotuner.measured_s", measured)
         return AutotuneEntry(
             rank=candidate.rank, candidate=candidate,
             measured_latency_s=measured,

@@ -32,6 +32,8 @@ from repro.core.profiler import ProfilingTable
 from repro.core.schedule import Schedule, validate_schedule
 from repro.core.stage import Application
 from repro.errors import SchedulingError, SolverTimeoutError
+from repro.obs.metrics import metrics
+from repro.obs.tracer import tracer
 from repro.solver import Model, Solver
 
 #: Number of diverse candidates level 2 produces (paper: K = 20).
@@ -156,6 +158,17 @@ class BTOptimizer:
         ]
         self.solver_invocations = 0
         self.solver_wall_s = 0.0
+
+    def _note_solve(self, solver: Solver) -> None:
+        """Account one solver invocation (and mirror it into metrics)."""
+        self.solver_invocations += 1
+        self.solver_wall_s += solver.stats.wall_seconds
+        reg = metrics()
+        if reg.enabled:
+            reg.counter("solver.invocations")
+            reg.counter("solver.nodes", solver.stats.decisions)
+            reg.counter("solver.conflicts", solver.stats.conflicts)
+            reg.counter("solver.propagations", solver.stats.propagations)
 
     # ------------------------------------------------------------------
     # Constraint encoding
@@ -292,6 +305,11 @@ class BTOptimizer:
     # ------------------------------------------------------------------
     def optimize_utilization(self) -> ScheduleCandidate:
         """Solve ``min (T_max - T_min)`` (objective O1)."""
+        with tracer().span("solver.utilization", "solver",
+                           application=self.application.name):
+            return self._optimize_utilization_inner()
+
+    def _optimize_utilization_inner(self) -> ScheduleCandidate:
         model, x = self._build_model()
 
         def objective(values: Sequence[int]) -> float:
@@ -304,8 +322,7 @@ class BTOptimizer:
         result = solver.minimize(
             objective, lower_bound=self._gapness_lower_bound(x)
         )
-        self.solver_invocations += 1
-        self.solver_wall_s += solver.stats.wall_seconds
+        self._note_solve(solver)
         if result is None:
             raise SchedulingError("utilization optimization is infeasible")
         solution, gap = result
@@ -417,12 +434,14 @@ class BTOptimizer:
             else time.perf_counter() + self.time_budget_s
         )
         partial: List[ScheduleCandidate] = []
-        try:
-            result = self._optimize_exact(partial)
-        except SolverTimeoutError:
-            result = self._degraded_result(partial)
-        finally:
-            self._deadline = None
+        with tracer().span("solver.optimize", "solver",
+                           application=self.application.name, k=self.k):
+            try:
+                result = self._optimize_exact(partial)
+            except SolverTimeoutError:
+                result = self._degraded_result(partial)
+            finally:
+                self._deadline = None
         for candidate in result.candidates:
             validate_schedule(
                 candidate.schedule,
@@ -474,38 +493,41 @@ class BTOptimizer:
         # schedules in total), phase 2b tops the set up without the
         # filter so autotuning still sees K diverse options.
         objective = filtered_objective
+        trc = tracer()
         for rank in range(self.k):
-            solver = self._make_solver(model)
-            result = solver.minimize(objective, lower_bound=latency_bound)
-            self.solver_invocations += 1
-            self.solver_wall_s += solver.stats.wall_seconds
-            exhausted = result is None or math.isinf(result[1])
-            if exhausted:
-                if objective is unfiltered_objective:
-                    break  # blocking clauses truly exhausted the space
-                objective = unfiltered_objective
+            # One span per blocking-clause round: how each candidate was
+            # found (filtered or top-up) and what it cost the solver.
+            with trc.span("solver.candidate_round", "solver", rank=rank):
                 solver = self._make_solver(model)
-                result = solver.minimize(
-                    objective, lower_bound=latency_bound
+                result = solver.minimize(objective,
+                                         lower_bound=latency_bound)
+                self._note_solve(solver)
+                exhausted = result is None or math.isinf(result[1])
+                if exhausted:
+                    if objective is unfiltered_objective:
+                        break  # blocking clauses exhausted the space
+                    objective = unfiltered_objective
+                    solver = self._make_solver(model)
+                    result = solver.minimize(
+                        objective, lower_bound=latency_bound
+                    )
+                    self._note_solve(solver)
+                    if result is None or math.isinf(result[1]):
+                        break
+                solution, latency = result
+                assignment = self._decode_solution(solution, x)
+                candidates.append(
+                    ScheduleCandidate(
+                        rank=rank,
+                        schedule=self._to_schedule(assignment),
+                        predicted_latency_s=latency,
+                        gapness_s=self._gapness(assignment),
+                    )
                 )
-                self.solver_invocations += 1
-                self.solver_wall_s += solver.stats.wall_seconds
-                if result is None or math.isinf(result[1]):
-                    break
-            solution, latency = result
-            assignment = self._decode_solution(solution, x)
-            candidates.append(
-                ScheduleCandidate(
-                    rank=rank,
-                    schedule=self._to_schedule(assignment),
-                    predicted_latency_s=latency,
-                    gapness_s=self._gapness(assignment),
+                # C5-ell: forbid this exact assignment.
+                model.forbid_assignment(
+                    [x[i][c] for i, c in enumerate(assignment)]
                 )
-            )
-            # C5-ell: forbid this exact assignment.
-            model.forbid_assignment(
-                [x[i][c] for i, c in enumerate(assignment)]
-            )
         # The paper sorts the candidate set by predicted latency (T_max)
         # at the end; the unfiltered top-up phase can otherwise leave a
         # low-latency, high-gapness schedule after a filtered one.

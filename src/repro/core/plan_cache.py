@@ -32,6 +32,8 @@ from repro.core.profiler import BTProfiler, ProfilingTable
 from repro.core.schedule import Schedule
 from repro.core.stage import Application
 from repro.errors import SchedulingError
+from repro.obs.metrics import metrics
+from repro.obs.tracer import tracer
 from repro.soc.platform import Platform
 
 
@@ -142,29 +144,40 @@ class PlanCache:
         candidate set (the multi-tenant economics the cache exists
         for).
         """
+        reg = metrics()
         cached = self._plans.get(application.name)
         if cached is not None:
             self.hits += 1
+            if reg.enabled:
+                reg.counter("plan_cache.hits")
             return cached
         self.misses += 1
-        isolated, interference = self.profiler.profile_both(application)
-        schedulable = self.platform.schedulable_classes()
-        optimizer = BTOptimizer(
-            application,
-            interference.restricted(schedulable),
-            k=self.k,
-            gap_slack=self.gap_slack,
-            time_budget_s=self.time_budget_s,
-        )
-        plan = CachedPlan(
-            application=application,
-            isolated=isolated,
-            interference=interference,
-            optimization=with_packing_candidates(
-                optimizer.optimize(), application, interference,
-                schedulable,
-            ),
-        )
+        if reg.enabled:
+            reg.counter("plan_cache.misses")
+        # The build span parents the whole miss path, so a trace shows
+        # exactly which tenant admission paid for profiling + solving.
+        with tracer().span("plan_cache.build", "plan_cache",
+                           application=application.name):
+            isolated, interference = self.profiler.profile_both(
+                application
+            )
+            schedulable = self.platform.schedulable_classes()
+            optimizer = BTOptimizer(
+                application,
+                interference.restricted(schedulable),
+                k=self.k,
+                gap_slack=self.gap_slack,
+                time_budget_s=self.time_budget_s,
+            )
+            plan = CachedPlan(
+                application=application,
+                isolated=isolated,
+                interference=interference,
+                optimization=with_packing_candidates(
+                    optimizer.optimize(), application, interference,
+                    schedulable,
+                ),
+            )
         self._plans[application.name] = plan
         return plan
 

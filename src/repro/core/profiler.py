@@ -24,6 +24,8 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple
 
 from repro.core.stage import Application
 from repro.errors import ProfilingError
+from repro.obs.metrics import metrics
+from repro.obs.tracer import tracer
 from repro.soc.platform import Platform
 from repro.soc.timer import mean_of_measurements
 
@@ -156,13 +158,15 @@ class BTProfiler:
         pu_classes = self.platform.pu_classes()
         entries: Dict[Tuple[str, str], float] = {}
         stddevs: Dict[Tuple[str, str], float] = {}
-        for stage in application.stages:
-            for pu_class in pu_classes:
-                mean, std = self._measure_stage(
-                    application, stage.name, pu_class, mode
-                )
-                entries[(stage.name, pu_class)] = mean
-                stddevs[(stage.name, pu_class)] = std
+        with tracer().span("profiler.profile", "profiler",
+                           application=application.name, mode=mode):
+            for stage in application.stages:
+                for pu_class in pu_classes:
+                    mean, std = self._measure_stage(
+                        application, stage.name, pu_class, mode
+                    )
+                    entries[(stage.name, pu_class)] = mean
+                    stddevs[(stage.name, pu_class)] = std
         return ProfilingTable(
             application=application.name,
             platform=self.platform.name,
@@ -202,6 +206,21 @@ class BTProfiler:
 
     def _measure_stage(self, application: Application, stage_name: str,
                        pu_class: str, mode: str) -> Tuple[float, float]:
+        with tracer().span("profiler.cell", "profiler",
+                           stage=stage_name, pu=pu_class, mode=mode):
+            mean, std = self._measure_stage_inner(
+                application, stage_name, pu_class, mode
+            )
+        reg = metrics()
+        if reg.enabled:
+            reg.counter("profiler.cells")
+            reg.observe("profiler.cell_mean_s", mean)
+        return mean, std
+
+    def _measure_stage_inner(
+        self, application: Application, stage_name: str,
+        pu_class: str, mode: str,
+    ) -> Tuple[float, float]:
         stage = application.stage(stage_name)
         if mode == ISOLATED:
             co_load, other_demand = 0.0, 0.0

@@ -7,6 +7,8 @@ subclass that applies.
 
 from __future__ import annotations
 
+from typing import Any, Dict, Sequence
+
 
 class ReproError(Exception):
     """Base class for every error raised by this library."""
@@ -90,7 +92,27 @@ class StallError(PipelineError):
     Deliberately *not* retryable: retrying a wedged kernel stalls
     again, so the runtime routes the task straight into quarantine
     (or unwinds when failure isolation is off).
+
+    ``flight_tail`` carries the observability flight recorder's last
+    events at the moment of cancellation (empty when the recorder is
+    disabled), so a postmortem sees what led up to the stall.
     """
+
+    def __init__(self, message: str,
+                 flight_tail: Sequence[Dict[str, Any]] = ()):
+        super().__init__(message)
+        self.flight_tail = tuple(dict(e) for e in flight_tail)
+
+    def diagnostic(self) -> str:
+        """Message plus the flight-recorder tail, one event per line."""
+        lines = [str(self)]
+        for entry in self.flight_tail:
+            fields = " ".join(
+                f"{k}={entry[k]}" for k in entry if k not in ("seq", "kind")
+            )
+            lines.append(f"  [{entry.get('seq')}] {entry.get('kind')}"
+                         f" {fields}".rstrip())
+        return "\n".join(lines)
 
 
 class TransientKernelFault(PipelineError):

@@ -1,0 +1,43 @@
+"""repro.obs - unified observability: tracer, metrics, flight recorder.
+
+One deterministic event spine across every layer (profiler, solver,
+autotuner, DES runtime, threaded back-end, serving), with exporters to
+Chrome/Perfetto trace JSON and the ASCII Gantt.  All instruments are
+disabled by default; wrap a scope in :func:`capture` to record.
+"""
+
+from repro.obs.export import chrome_trace, export_gantt, write_trace
+from repro.obs.metrics import MetricsRegistry, metrics, set_metrics
+from repro.obs.recorder import FlightRecorder, recorder, set_recorder
+from repro.obs.tracer import (
+    CONTROL,
+    ROOT,
+    VIRTUAL,
+    Capture,
+    TraceEvent,
+    Tracer,
+    capture,
+    set_tracer,
+    tracer,
+)
+
+__all__ = [
+    "CONTROL",
+    "ROOT",
+    "VIRTUAL",
+    "Capture",
+    "FlightRecorder",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "capture",
+    "chrome_trace",
+    "export_gantt",
+    "metrics",
+    "recorder",
+    "set_metrics",
+    "set_recorder",
+    "set_tracer",
+    "tracer",
+    "write_trace",
+]

@@ -1,0 +1,110 @@
+"""Process-wide metrics registry: counters, gauges, histograms.
+
+Complements the tracer with aggregates that don't need a timeline:
+``retry.count``, ``admission.rejects``, ``solver.nodes``,
+``spsc.queue_depth`` and friends.  Naming convention is
+``<subsystem>.<noun>`` in lowercase dotted form - see
+``docs/architecture.md`` ("Observability").
+
+Like the tracer, the global registry is **disabled by default**; every
+instrumentation site guards on ``metrics().enabled`` so uninstrumented
+runs pay nothing.  When enabled, :func:`repro.serialization.
+write_json_report` snapshots the registry into every JSON report it
+writes, so a soak report carries its own counters.
+
+Snapshots are deterministic: keys sort lexicographically and histogram
+summaries derive only from the observed values (no wall time).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List
+
+
+def _percentile(samples: List[float], q: float) -> float:
+    """Linear-interpolation percentile (same scheme as serve.metrics)."""
+    ordered = sorted(samples)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (q / 100.0) * (len(ordered) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(ordered) - 1)
+    frac = rank - lo
+    return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+class MetricsRegistry:
+    """Counters, gauges and histograms behind one lock.
+
+    Disabled instances short-circuit every method, so call sites may
+    either guard on :attr:`enabled` themselves (hot paths) or call
+    unconditionally (cold paths).
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, float] = {}
+        self._gauges: Dict[str, float] = {}
+        self._histograms: Dict[str, List[float]] = {}
+
+    def counter(self, name: str, value: float = 1) -> None:
+        """Add ``value`` (default 1) to the monotonic counter ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + value
+
+    def gauge(self, name: str, value: float) -> None:
+        """Set the last-write-wins gauge ``name`` to ``value``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._gauges[name] = value
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram ``name``."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._histograms.setdefault(name, []).append(value)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deterministic summary of everything recorded so far."""
+        with self._lock:
+            counters = dict(self._counters)
+            gauges = dict(self._gauges)
+            histograms = {k: list(v) for k, v in self._histograms.items()}
+        summary: Dict[str, Any] = {
+            "counters": {k: counters[k] for k in sorted(counters)},
+            "gauges": {k: gauges[k] for k in sorted(gauges)},
+            "histograms": {},
+        }
+        for name in sorted(histograms):
+            values = histograms[name]
+            summary["histograms"][name] = {
+                "count": len(values),
+                "min": min(values),
+                "max": max(values),
+                "mean": sum(values) / len(values),
+                "p50": _percentile(values, 50.0),
+                "p95": _percentile(values, 95.0),
+            }
+        return summary
+
+
+_GLOBAL = MetricsRegistry(enabled=False)
+
+
+def metrics() -> MetricsRegistry:
+    """The process-global registry; disabled unless inside a capture."""
+    return _GLOBAL
+
+
+def set_metrics(instance: MetricsRegistry) -> MetricsRegistry:
+    """Install ``instance`` as the global registry; returns the old one."""
+    global _GLOBAL
+    previous = _GLOBAL
+    _GLOBAL = instance
+    return previous

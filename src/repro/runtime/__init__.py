@@ -42,7 +42,8 @@ from repro.runtime.simulator import (
     SimulatedRunResult,
 )
 from repro.runtime.spsc import SpscQueue
-from repro.runtime.trace import Span, format_gantt, pipeline_bubbles
+from repro.runtime.trace import (Span, format_gantt,
+                                pipeline_bubbles, record_span)
 from repro.runtime.task_object import TaskObject
 from repro.runtime.usm import UsmBuffer
 from repro.runtime.watchdog import (
@@ -83,5 +84,6 @@ __all__ = [
     "format_gantt",
     "max_depth_within",
     "pipeline_bubbles",
+    "record_span",
     "supervised_thread",
 ]

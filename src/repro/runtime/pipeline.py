@@ -45,6 +45,8 @@ from repro.runtime.faults import (
     quarantine_task,
     task_failure,
 )
+from repro.obs.metrics import metrics
+from repro.obs.tracer import tracer
 from repro.runtime.spsc import SpscQueue
 from repro.runtime.task_object import TaskObject
 from repro.runtime.watchdog import Heartbeat, Watchdog, WatchdogConfig
@@ -146,6 +148,16 @@ class _Dispatcher(threading.Thread):
         if task_failure(task) is not None:
             return  # quarantined upstream: pass through untouched
         task_id = task.constant("task_index")
+        trc = tracer()
+        if trc.enabled:
+            with trc.span("dispatch.task", "runtime",
+                          chunk=self.chunk_index,
+                          pu=self.chunk.pu_class, task=task_id):
+                self._process_inner(task, task_id)
+        else:
+            self._process_inner(task, task_id)
+
+    def _process_inner(self, task: TaskObject, task_id: int) -> None:
         if self.heartbeat is not None:
             self.heartbeat.start_task(task_id)
         try:
@@ -236,6 +248,14 @@ class _Dispatcher(threading.Thread):
                 RETRY, self.chunk.pu_class, index, task_id,
                 attempt=failures, detail=repr(exc),
             )
+        reg = metrics()
+        if reg.enabled:
+            reg.counter("retry.count")
+        trc = tracer()
+        if trc.enabled:
+            trc.instant("dispatch.retry", "runtime",
+                        chunk=self.chunk_index, task=task_id,
+                        stage=index, attempt=failures)
 
     def _quarantine(self, task: TaskObject, task_id: int, index: int,
                     attempt: int, exc: BaseException) -> bool:
@@ -251,6 +271,14 @@ class _Dispatcher(threading.Thread):
                 QUARANTINE, self.chunk.pu_class, index, task_id,
                 attempt=attempt, detail=repr(exc),
             )
+        reg = metrics()
+        if reg.enabled:
+            reg.counter("quarantine.count")
+        trc = tracer()
+        if trc.enabled:
+            trc.instant("dispatch.quarantine", "runtime",
+                        chunk=self.chunk_index, task=task_id,
+                        stage=index, error=repr(exc))
         return False
 
 
@@ -440,6 +468,15 @@ class ThreadedPipelineExecutor:
                 "tasks completed and no dispatcher error was recorded"
             )
         wall = time.perf_counter() - start
+        trc = tracer()
+        if trc.enabled:
+            with trc.span("pipeline.run", "runtime", n_tasks=n_tasks,
+                          chunks=len(self.chunks), completed=completed):
+                pass
+            reg = metrics()
+            reg.counter("pipeline.runs")
+            if failures:
+                reg.counter("pipeline.quarantined_tasks", len(failures))
         return ThreadedRunResult(
             n_tasks=n_tasks,
             wall_seconds=wall,

@@ -32,8 +32,10 @@ import numpy as np
 
 from repro.core.stage import Application, Chunk
 from repro.errors import PipelineError
+from repro.obs.metrics import metrics
+from repro.obs.tracer import tracer
 from repro.runtime.faults import FaultInjector
-from repro.runtime.trace import Span
+from repro.runtime.trace import Span, record_span
 from repro.soc.interference import ExternalLoad, external_co_load
 from repro.soc.platform import Platform
 
@@ -430,7 +432,7 @@ class SimulatedPipelineExecutor:
                 if done_task is None:
                     continue
                 if record_trace:
-                    spans.append(Span(
+                    spans.append(record_span(
                         chunk_index=server.index,
                         pu_class=server.chunk.pu_class,
                         task_id=previous_task,
@@ -442,6 +444,20 @@ class SimulatedPipelineExecutor:
                     self._servers[position + 1].ready.append(done_task)
                 else:
                     completed.append(now)
+
+        # Observability is strictly post-hoc: one guard check per run
+        # (never per event), so the DES loop above stays allocation-free
+        # when tracing is off - the overhead benchmark pins this down.
+        trc = tracer()
+        if trc.enabled:
+            with trc.span("simulator.run", "runtime",
+                          n_tasks=n_tasks, tenant=self.tenant,
+                          total_s=now) as run_id:
+                pass
+            trc.emit_virtual_spans(spans, now, parent_id=run_id)
+            reg = metrics()
+            reg.counter("sim.runs")
+            reg.observe("sim.total_s", now)
 
         steady = self._steady_interval(completed)
         return SimulatedRunResult(

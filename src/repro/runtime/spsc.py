@@ -18,6 +18,7 @@ from typing import Any, List, Optional, Tuple
 from repro.analysis import runtime_checks as _checks
 from repro.analysis.lock_order import checked_lock
 from repro.errors import QueueClosedError
+from repro.obs.metrics import metrics
 
 #: Deterministic default names for anonymous queues ("spsc-0", ...).
 _QUEUE_IDS = itertools.count()
@@ -116,6 +117,9 @@ class SpscQueue:
                 raise QueueClosedError("push to closed queue")
             self._ring[self._tail] = item
             self._tail = (self._tail + 1) % len(self._ring)
+            reg = metrics()
+            if reg.enabled:
+                reg.observe("spsc.queue_depth", self._size_locked())
             self._not_empty.notify()
 
     def try_push(self, item: Any) -> bool:

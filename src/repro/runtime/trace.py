@@ -40,7 +40,22 @@ class Span:
         return self.end_s - self.start_s
 
 
-def _chunk_rows(spans: Sequence[Span], scale: float,
+def record_span(chunk_index: int, pu_class: str, task_id: int,
+                start_s: float, end_s: float,
+                tenant: Optional[str] = None) -> Span:
+    """The sanctioned :class:`Span` constructor.
+
+    All span emission goes through here (or the tracer API in
+    :mod:`repro.obs`); the ``UNTAGGED-SPAN`` lint rule flags direct
+    ``Span(...)`` construction elsewhere, so spans cannot bypass the
+    unified observability layer.
+    """
+    return Span(chunk_index=chunk_index, pu_class=pu_class,
+                task_id=task_id, start_s=start_s, end_s=end_s,
+                tenant=tenant)
+
+
+def _chunk_rows(spans: Sequence[Span], t_end: float,
                 width: int) -> List[str]:
     """One Gantt row per (chunk, PU) present in ``spans``."""
     chunks = sorted({(s.chunk_index, s.pu_class) for s in spans})
@@ -50,8 +65,20 @@ def _chunk_rows(spans: Sequence[Span], scale: float,
         for span in spans:
             if span.chunk_index != chunk_index:
                 continue
-            lo = min(int(span.start_s * scale), width - 1)
-            hi = max(min(int(span.end_s * scale), width), lo + 1)
+            # Half-open column interval.  Dividing by t_end *before*
+            # scaling keeps the right edge exact (x/x*w == w in IEEE,
+            # whereas x*(w/x) can land at w-ulp), so a sub-column span
+            # widened to one cell before clamping maps to the empty
+            # interval [width, width) at the right edge and draws
+            # nothing instead of overwriting the last cell; clamping
+            # afterwards means pathological coordinates never wrap the
+            # row.
+            lo = int(span.start_s / t_end * width)
+            hi = int(span.end_s / t_end * width)
+            if hi <= lo:
+                hi = lo + 1
+            lo = max(lo, 0)
+            hi = min(hi, width)
             glyph = format(span.task_id % 16, "x")
             for col in range(lo, hi):
                 row[col] = glyph
@@ -78,11 +105,10 @@ def format_gantt(spans: Sequence[Span], width: int = 72) -> str:
     t_end = max(span.end_s for span in spans)
     if t_end <= 0:
         return "(zero-length trace)"
-    scale = width / t_end
     tenants = {span.tenant for span in spans}
     lines: List[str] = []
     if tenants == {None}:
-        lines.extend(_chunk_rows(spans, scale, width))
+        lines.extend(_chunk_rows(spans, t_end, width))
     else:
         # Named tenants in sorted order; untagged spans last.
         ordered = sorted(t for t in tenants if t is not None)
@@ -92,11 +118,14 @@ def format_gantt(spans: Sequence[Span], width: int = 72) -> str:
             label = tenant if tenant is not None else "(untagged)"
             lines.append(f"tenant {label}:")
             lines.extend(_chunk_rows(
-                [s for s in spans if s.tenant == tenant], scale, width
+                [s for s in spans if s.tenant == tenant], t_end, width
             ))
-    lines.append(
-        f"{'':16s} 0{'':{width - 10}s}{t_end * 1e3:.2f} ms"
-    )
+    # Right-align the end-time label with the closing "|"; the pad
+    # clamps at zero so narrow charts degrade instead of crashing on a
+    # negative field width.
+    end_label = f"{t_end * 1e3:.2f} ms"
+    pad = max(width - len(end_label), 0)
+    lines.append(f"{'':16s} 0{'':{pad}s}{end_label}")
     return "\n".join(lines)
 
 

@@ -36,6 +36,7 @@ from typing import Callable, List, Optional, Set, Tuple
 
 from repro.analysis.lock_order import checked_lock
 from repro.errors import PipelineError, StallError
+from repro.obs.recorder import recorder
 from repro.runtime.faults import (
     DEADLINE_OVERRUN,
     STALL,
@@ -129,7 +130,8 @@ class Heartbeat:
         if self.cancel.wait(duration):
             raise StallError(
                 f"chunk {self.chunk_index} ({self.pu_class}) cancelled "
-                "by the watchdog while sleeping"
+                "by the watchdog while sleeping",
+                flight_tail=recorder().tail(),
             )
 
     def check_cancelled(self) -> None:
@@ -137,7 +139,8 @@ class Heartbeat:
         if self.cancel.is_set():
             raise StallError(
                 f"chunk {self.chunk_index} ({self.pu_class}) cancelled "
-                "by the watchdog"
+                "by the watchdog",
+                flight_tail=recorder().tail(),
             )
 
     # -- watchdog side -------------------------------------------------
@@ -236,8 +239,15 @@ class Watchdog:
         with self._lock:
             self.events.append(event)
         if self.injector is not None:
+            # The injector's log feeds the flight recorder itself.
             self.injector.record(kind, heartbeat.pu_class, stage_index,
                                  task_id, detail=detail)
+        else:
+            rec = recorder()
+            if rec.enabled:
+                rec.record(kind, pu_class=heartbeat.pu_class,
+                           stage_index=stage_index, task_id=task_id,
+                           detail=detail)
 
     # ------------------------------------------------------------------
     def _scan_loop(self) -> None:

@@ -113,7 +113,19 @@ def write_json_report(path: PathLike, payload: Dict[str, Any]) -> None:
     write in the tree goes through the atomic tmp + fsync + rename
     path (and the ``RAW-ARTIFACT-WRITE`` lint rule can flag any that
     does not).
+
+    When the observability metrics registry is capturing
+    (:func:`repro.obs.capture`), its snapshot rides along under a
+    ``metrics`` key, so every report written during an instrumented run
+    carries its counters.  Disabled registries leave the payload - and
+    therefore the bytes on disk - untouched.
     """
+    from repro.obs.metrics import metrics
+
+    registry = metrics()
+    if registry.enabled and "metrics" not in payload:
+        payload = dict(payload)
+        payload["metrics"] = registry.snapshot()
     atomic_write_text(path, json.dumps(payload, indent=2) + "\n")
 
 

@@ -35,6 +35,9 @@ from typing import Deque, Dict, List, Mapping, Optional
 from repro.analysis.lock_order import checked_lock
 from repro.core.plan_cache import PlanCache
 from repro.errors import ReproError, ServeError
+from repro.obs.metrics import metrics
+from repro.obs.recorder import recorder
+from repro.obs.tracer import tracer
 from repro.runtime.simulator import SimulatedPipelineExecutor
 from repro.runtime.trace import Span
 from repro.runtime.watchdog import (
@@ -316,9 +319,19 @@ class PipelineServer:
 
     # -- one tick -------------------------------------------------------
     def _tick(self, tick: int) -> None:
-        self._admit_new(tick)
-        self._retry_queued(tick)
-        self._serve_windows(tick)
+        with tracer().span("serve.tick", "serve", tick=tick):
+            self._admit_new(tick)
+            self._retry_queued(tick)
+            self._serve_windows(tick)
+
+    #: timeline event -> admission-metric counter name.
+    _ADMISSION_COUNTERS = {
+        "admit": "admission.admits",
+        "queue": "admission.queued",
+        "reject": "admission.rejects",
+        "reschedule": "serve.reschedules",
+        "evict": "serve.evictions",
+    }
 
     def _event(self, tick: int, event: str, tenant: str,
                **extra: object) -> None:
@@ -327,6 +340,27 @@ class PipelineServer:
         }
         entry.update(extra)
         self.timeline.append(entry)
+        # Mirror every timeline entry into the observability spine:
+        # an instant on the tenant's trace track, a flight-recorder
+        # event, and the admission/reschedule counters.  All happen on
+        # the single loop thread, so the emission order - and therefore
+        # an exported trace's bytes - stays a function of the seed.
+        trc = tracer()
+        if trc.enabled:
+            trc.instant(f"serve.{event}", "serve",
+                        track=f"tenant:{tenant}", tick=tick,
+                        tenant=tenant)
+        rec = recorder()
+        if rec.enabled:
+            rec.record(f"serve.{event}", tick=tick, tenant=tenant)
+        reg = metrics()
+        if reg.enabled:
+            counter = self._ADMISSION_COUNTERS.get(event)
+            if counter is not None:
+                reg.counter(counter)
+            if event == "window":
+                reg.observe("serve.window_latency_s",
+                            float(extra["latency_s"]))
 
     def _admit_new(self, tick: int) -> None:
         while True:
@@ -430,6 +464,13 @@ class PipelineServer:
 
     def _serve_one_window(self, tick: int, name: str,
                           record: TenantRecord) -> None:
+        with tracer().span("serve.window", "serve",
+                           tenant=name, tick=tick,
+                           window=record.windows_done):
+            self._serve_one_window_inner(tick, name, record)
+
+    def _serve_one_window_inner(self, tick: int, name: str,
+                                record: TenantRecord) -> None:
         assert record.plan is not None and record.schedule is not None
         external = self._external_for(name, tick)
         executor = SimulatedPipelineExecutor(

@@ -24,6 +24,7 @@ EXPECTED_RULE_IDS = {
     "GLOBAL-RNG",
     "RAW-ARTIFACT-WRITE",
     "UNSUPERVISED-THREAD",
+    "UNTAGGED-SPAN",
     "WALL-CLOCK",
 }
 
@@ -49,6 +50,7 @@ class TestFixtures:
         ("bad_artifact_write.py", "RAW-ARTIFACT-WRITE", 2),
         ("bad_broad_except.py", "BROAD-EXCEPT", 2),
         ("bad_thread.py", "UNSUPERVISED-THREAD", 1),
+        ("bad_untagged_span.py", "UNTAGGED-SPAN", 2),
     ])
     def test_bad_fixture_caught(self, fixture, rule_id, count):
         report = lint_paths([FIXTURES / fixture])
@@ -220,6 +222,30 @@ class TestPathScoping:
         assert not findings
         findings, _ = lint_snippet(source, path="repro/core/session.py")
         assert [f.rule_id for f in findings] == ["UNSUPERVISED-THREAD"]
+
+    def test_span_factories_exempt_from_untagged_span(self):
+        source = """
+            def build(Span):
+                return Span(chunk_index=0, pu_class="big", task_id=0,
+                            start_s=0.0, end_s=1.0)
+        """
+        for exempt in ("repro/runtime/trace.py",
+                       "repro/obs/export.py",
+                       "repro/obs/tracer.py"):
+            findings, _ = lint_snippet(source, path=exempt)
+            assert not findings, exempt
+        findings, _ = lint_snippet(source,
+                                   path="repro/runtime/simulator.py")
+        assert [f.rule_id for f in findings] == ["UNTAGGED-SPAN"]
+
+    def test_untagged_span_suppressible(self):
+        findings, suppressed = lint_snippet("""
+            def build(Span):
+                # bt-lint: disable=UNTAGGED-SPAN
+                return Span(0, "big", 0, 0.0, 1.0)
+        """)
+        assert not findings
+        assert suppressed == 1
 
     def test_read_mode_open_is_fine(self):
         findings, _ = lint_snippet("""

@@ -98,6 +98,73 @@ class TestGantt:
         assert text.count("|") == 4
 
 
+class TestGanttClipping:
+    """Regression tests: span clipping at pathological scale factors.
+
+    The renderer used to multiply by a precomputed ``width / t_end``
+    scale, so ``t_end * (width / t_end)`` could round *down* a hair
+    below ``width`` and draw right-edge spans into the last real
+    column, overwriting whichever task legitimately ended there.
+    """
+
+    def test_zero_duration_span_at_right_edge_does_not_overwrite(self):
+        # task 1 is a zero-duration span exactly at t_end: it must not
+        # stomp the final column of task 0's full-width bar.
+        spans = [
+            Span(0, "big", 0, 0.0, 1e-9),
+            Span(0, "big", 1, 1e-9, 1e-9),
+        ]
+        text = format_gantt(spans, width=8)
+        row = next(l for l in text.splitlines() if "|" in l)
+        assert row.split("|")[1] == "0" * 8
+
+    @pytest.mark.parametrize("t_end", [1e-9, 1e-6, 1.0, 3.0, 1e6])
+    def test_full_width_span_fills_exactly_width_cells(self, t_end):
+        # x / x * width must land on exactly `width` for any scale.
+        text = format_gantt([Span(0, "big", 0, 0.0, t_end)], width=10)
+        row = next(l for l in text.splitlines() if "|" in l)
+        assert row.split("|")[1] == "0" * 10
+
+    def test_sub_column_span_still_visible(self):
+        # A span much narrower than one column widens to one cell
+        # instead of vanishing.
+        spans = [
+            Span(0, "big", 0, 0.0, 1.0),
+            Span(1, "gpu", 0, 0.25, 0.2500001),
+        ]
+        text = format_gantt(spans, width=16)
+        gpu_row = next(l for l in text.splitlines() if "gpu" in l)
+        assert "0" in gpu_row
+
+    def test_sub_column_span_at_right_edge_clamped(self):
+        # Widening a right-edge sliver must not write past the chart.
+        spans = [
+            Span(0, "big", 0, 0.0, 1.0),
+            Span(1, "gpu", 0, 1.0 - 1e-12, 1.0),
+        ]
+        text = format_gantt(spans, width=12)
+        gpu_row = next(l for l in text.splitlines() if "gpu" in l)
+        cells = gpu_row.split("|")[1]
+        assert len(cells) == 12
+        assert cells[-1] == "0"
+
+    def test_negative_start_clamps_without_wraparound(self):
+        spans = [
+            Span(0, "big", 0, -0.5, 0.25),
+            Span(0, "big", 1, 0.25, 1.0),
+        ]
+        text = format_gantt(spans, width=8)
+        row = next(l for l in text.splitlines() if "|" in l)
+        cells = row.split("|")[1]
+        assert len(cells) == 8
+        assert cells[0] == "0"  # clamped to column 0, not width-1
+
+    def test_narrow_width_axis_label_does_not_crash(self):
+        # Axis padding used to go negative for width < len(label).
+        text = format_gantt([Span(0, "big", 0, 0.0, 1.0)], width=4)
+        assert "ms" in text
+
+
 class TestMultiTenantGantt:
     """Tenant-tagged spans must render one section per tenant."""
 

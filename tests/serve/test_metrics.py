@@ -27,8 +27,35 @@ class TestPercentile:
         with pytest.raises(ServeError, match="out of"):
             percentile([1.0], 101.0)
 
+    def test_negative_q_rejected(self):
+        with pytest.raises(ServeError, match="out of"):
+            percentile([1.0], -0.5)
+
     def test_single_sample(self):
         assert percentile([3.5], 95.0) == 3.5
+
+    def test_q_zero_is_minimum(self):
+        assert percentile([5.0, 1.0, 3.0], 0.0) == 1.0
+
+    def test_q_hundred_is_maximum(self):
+        assert percentile([5.0, 1.0, 3.0], 100.0) == 5.0
+
+    def test_duplicate_samples_are_flat(self):
+        # A degenerate distribution: every quantile is the same value,
+        # with no interpolation drift between equal neighbours.
+        samples = [2.0] * 7
+        for q in (0.0, 12.5, 50.0, 95.0, 100.0):
+            assert percentile(samples, q) == 2.0
+
+    def test_two_sample_interpolation(self):
+        # With two samples the rank is q/100 exactly, so the result is
+        # a straight blend of min and max.
+        assert percentile([0.0, 10.0], 25.0) == pytest.approx(2.5)
+        assert percentile([0.0, 10.0], 50.0) == pytest.approx(5.0)
+        assert percentile([10.0, 0.0], 95.0) == pytest.approx(9.5)
+
+    def test_unsorted_input_handled(self):
+        assert percentile([9.0, 1.0, 5.0], 50.0) == 5.0
 
     @pytest.mark.parametrize("q", [0.0, 25.0, 50.0, 95.0, 100.0])
     def test_matches_numpy_linear_interpolation(self, q):

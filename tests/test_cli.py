@@ -261,6 +261,75 @@ class TestServe:
         assert err["error"] == "ServeError"
         assert "8 windows" in err["message"]
 
+    def test_json_mode_stdout_is_pure_json(self, capsys):
+        # The whole point of the text sink: --json must never mix the
+        # human summary (or gantt) into the machine-readable stream.
+        code = main([
+            "serve", "--windows", "8", "--tasks", "6",
+            "--json", "--gantt",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        payload = json.loads(out)  # raises if any stray line leaked
+        assert payload["tenants"]["tenant-probe"]["status"] == "rejected"
+        assert "tenant tenant-drift:" in payload["gantt"]
+
+    def test_trace_out_exports_chrome_trace(self, capsys, tmp_path):
+        path = tmp_path / "soak_trace.json"
+        code = main([
+            "serve", "--windows", "8", "--tasks", "6",
+            "--trace-out", str(path),
+        ])
+        assert code == 0
+        trace = json.loads(path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        categories = {e.get("cat") for e in trace["traceEvents"]}
+        assert {"profiler", "solver", "runtime", "serve"} <= categories
+        assert trace["otherData"]["metrics"]["counters"]
+
+    def test_trace_out_report_carries_metrics(self, capsys, tmp_path):
+        trace_path = tmp_path / "trace.json"
+        report_path = tmp_path / "report.json"
+        code = main([
+            "serve", "--windows", "8", "--tasks", "6",
+            "--trace-out", str(trace_path), "--out", str(report_path),
+        ])
+        assert code == 0
+        report = json.loads(report_path.read_text())
+        assert report["metrics"]["counters"]["admission.admits"] >= 1
+
+
+class TestTrace:
+    def test_offline_trace_prints_chrome_json(self, capsys):
+        code = main([
+            "trace", "--repetitions", "2", "--k", "4",
+            "--eval-tasks", "4", "--tasks", "4",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        categories = {e.get("cat") for e in payload["traceEvents"]}
+        assert {"profiler", "solver", "runtime"} <= categories
+
+    def test_serve_trace_writes_file(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code = main([
+            "trace", "--serve", "--windows", "8", "--tasks", "6",
+            "--export", "perfetto", "--out", str(path),
+        ])
+        assert code == 0
+        assert capsys.readouterr().out == ""  # file mode: clean stdout
+        trace = json.loads(path.read_text())
+        assert any(e["ph"] == "X" for e in trace["traceEvents"])
+
+    def test_gantt_export(self, capsys):
+        code = main([
+            "trace", "--serve", "--windows", "8", "--tasks", "6",
+            "--export", "gantt", "--width", "40",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tenant tenant-drift:" in out
+
 
 class TestSubmit:
     def test_submission_completes_under_contention(self, capsys):

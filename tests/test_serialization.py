@@ -295,3 +295,53 @@ class TestDegradedFlagRoundTrip:
         data = optimization_to_dict(optimization)
         del data["degraded"]
         assert optimization_from_dict(data).degraded is False
+
+
+class TestJsonReportMetricsSnapshot:
+    """write_json_report attaches the obs metrics snapshot only while a
+    capture is active, so uninstrumented reports stay byte-identical."""
+
+    def test_disabled_registry_leaves_bytes_untouched(self, tmp_path):
+        from repro.serialization import write_json_report
+
+        plain, again = tmp_path / "a.json", tmp_path / "b.json"
+        write_json_report(plain, {"x": 1})
+        write_json_report(again, {"x": 1})
+        assert plain.read_bytes() == again.read_bytes()
+        assert "metrics" not in json.loads(plain.read_text())
+
+    def test_enabled_registry_snapshot_rides_along(self, tmp_path):
+        from repro.obs import capture
+        from repro.serialization import write_json_report
+
+        path = tmp_path / "r.json"
+        with capture() as cap:
+            cap.metrics.counter("solver.nodes", 5)
+            write_json_report(path, {"x": 1})
+        data = json.loads(path.read_text())
+        assert data["x"] == 1
+        assert data["metrics"]["counters"]["solver.nodes"] == 5
+
+    def test_explicit_metrics_key_not_overwritten(self, tmp_path):
+        from repro.obs import capture
+        from repro.serialization import write_json_report
+
+        path = tmp_path / "r.json"
+        with capture():
+            write_json_report(path, {"metrics": "mine"})
+        assert json.loads(path.read_text())["metrics"] == "mine"
+
+    def test_caller_payload_not_mutated(self):
+        from repro.obs import capture
+        from repro.serialization import write_json_report
+        import tempfile, os
+
+        payload = {"x": 1}
+        with capture():
+            handle, name = tempfile.mkstemp()
+            os.close(handle)
+            try:
+                write_json_report(name, payload)
+            finally:
+                os.unlink(name)
+        assert payload == {"x": 1}
