@@ -74,7 +74,11 @@ def select_for_rate(
         rate_hz: Task arrival rate to sustain.
         n_tasks: Tasks streamed per trial.
     """
-    from repro.runtime.simulator import SimulatedPipelineExecutor
+    from repro.runtime.simulator import (
+        SimWindow,
+        SimulatedPipelineExecutor,
+        simulate_batch,
+    )
     from repro.soc.energy import estimate_energy
 
     if rate_hz <= 0:
@@ -88,12 +92,18 @@ def select_for_rate(
         raise SchedulingError("no candidates to select from")
 
     period = 1.0 / rate_hz
-    trials: List[RateTrial] = []
-    for candidate in pool:
-        executor = SimulatedPipelineExecutor(
-            application, candidate.schedule.chunks(), platform
+    results = simulate_batch([
+        SimWindow(
+            SimulatedPipelineExecutor(
+                application, candidate.schedule.chunks(), platform
+            ),
+            n_tasks,
+            arrival_period_s=period,
         )
-        result = executor.run(n_tasks, arrival_period_s=period)
+        for candidate in pool
+    ])
+    trials: List[RateTrial] = []
+    for candidate, result in zip(pool, results):
         energy = estimate_energy(result, platform)
         trials.append(
             RateTrial(

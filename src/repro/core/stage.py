@@ -14,6 +14,7 @@
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
@@ -211,10 +212,12 @@ class TaskGraph:
         for name, deps in self._deps.items():
             for dep in deps:
                 dependents[dep].append(name)
-        ready = [name for name in self._order if indegree[name] == 0]
+        ready = deque(
+            name for name in self._order if indegree[name] == 0
+        )
         result: List[Stage] = []
         while ready:
-            name = ready.pop(0)
+            name = ready.popleft()
             result.append(self._stages[name])
             for dependent in dependents[name]:
                 indegree[dependent] -= 1

@@ -38,8 +38,14 @@ from repro.runtime.memory import (
 )
 from repro.runtime.pipeline import ThreadedPipelineExecutor, ThreadedRunResult
 from repro.runtime.simulator import (
+    ENGINE_ENV,
+    ENGINE_REFERENCE,
+    ENGINE_VECTOR,
+    SimBatchOutcome,
+    SimWindow,
     SimulatedPipelineExecutor,
     SimulatedRunResult,
+    simulate_batch,
 )
 from repro.runtime.spsc import SpscQueue
 from repro.runtime.trace import (Span, format_gantt,
@@ -55,6 +61,9 @@ from repro.runtime.watchdog import (
 
 __all__ = [
     "AdaptivePipeline",
+    "ENGINE_ENV",
+    "ENGINE_REFERENCE",
+    "ENGINE_VECTOR",
     "FAILURE_FATAL",
     "FAILURE_TRANSIENT",
     "FaultEvent",
@@ -66,6 +75,8 @@ __all__ = [
     "MemoryReport",
     "PuDropoutSpec",
     "RetryPolicy",
+    "SimBatchOutcome",
+    "SimWindow",
     "SimulatedPipelineExecutor",
     "SimulatedRunResult",
     "SlowdownSpec",
@@ -85,5 +96,6 @@ __all__ = [
     "max_depth_within",
     "pipeline_bubbles",
     "record_span",
+    "simulate_batch",
     "supervised_thread",
 ]

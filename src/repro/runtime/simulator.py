@@ -20,13 +20,60 @@ standard piecewise-constant-rate DES.
 Multi-buffering: ``depth`` TaskObjects circulate; the first chunk may only
 admit task ``t`` once fewer than ``depth`` tasks are in flight, mirroring
 the recycling queue of section 3.4.
+
+Two engines implement the event loop, selected by the ``REPRO_SIM_ENGINE``
+environment variable (or the ``engine=`` constructor argument):
+
+* ``vector`` (default) - the batched event kernel: per-server
+  ``remaining``/``rate``/``busy`` state lives in preallocated numpy
+  arrays, instantaneous rates are recomputed only when the discrete
+  phase signature (who is active, in which stage, which phase) actually
+  changes - and then for all active servers in one pass, memoized per
+  signature - and the min-``dt`` reduction plus the advance step are
+  single vectorized operations.  Pipelines with few servers take an
+  unrolled scalar core of the same kernel (numpy per-op dispatch
+  overhead exceeds the arithmetic below ~8 lanes).
+* ``reference`` - the original, readable scalar loop, kept as the
+  correctness oracle.  The engine-equivalence suite asserts the two
+  produce byte-identical :class:`SimulatedRunResult`\\ s (completions,
+  busy seconds, spans, event counts) across seeds, schedules, depths,
+  arrivals, fault injection and external load.
+
+Rate determinism makes the memoization exact rather than approximate:
+between events rates are a pure function of the phase signature (plus
+the run-constant :class:`~repro.soc.interference.ExternalLoad`), so a
+cached rate vector is bit-equal to a recomputed one.
+
+Both engines share the float-residue policy: the server whose phase
+defines ``dt`` has its remaining work snapped to exactly ``0.0`` after
+the advance (``remaining -= dt * rate`` with ``dt = remaining / rate``
+leaves magnitude-dependent residue otherwise), and phase completion
+compares against a *relative* epsilon (``remaining <= phase_total *
+1e-12``), so large ``work_s`` values no longer shed spurious
+near-zero-``dt`` micro-events.
+
+Batching: :func:`simulate_batch` runs many independent windows - all
+tenants of a serve tick, all autotuner measurements of a round - in one
+call, and :meth:`SimulatedPipelineExecutor.run_batch` streams several
+windows through one executor back to back, reusing the engine's
+preallocated arrays plus its warm rate-signature and noise caches.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -45,6 +92,37 @@ _EXEC_NOISE_SIGMA = 0.01
 
 _IDLE = -1
 
+#: Phase completion epsilon, *relative* to the phase's total duration.
+#: An absolute epsilon is magnitude-blind: ``remaining -= dt * rate``
+#: after ``dt = remaining / rate`` leaves residue on the order of one
+#: ulp of the phase total, which for large ``work_s`` dwarfs any fixed
+#: threshold and used to produce spurious micro-events.
+_REL_EPS = 1e-12
+
+#: Environment variable selecting the event-loop engine.
+ENGINE_ENV = "REPRO_SIM_ENGINE"
+ENGINE_VECTOR = "vector"
+ENGINE_REFERENCE = "reference"
+_ENGINES = (ENGINE_VECTOR, ENGINE_REFERENCE)
+
+#: Below this many chunk servers the batch kernel runs its unrolled
+#: scalar core: numpy's per-call dispatch overhead (~0.5 us) exceeds
+#: the cost of the handful of float operations a narrow pipeline needs
+#: per event.  Wide pipelines use the array core.
+_SCALAR_CORE_MAX_SERVERS = 8
+
+
+def _resolve_engine(explicit: Optional[str]) -> str:
+    """Engine choice: explicit argument beats ``REPRO_SIM_ENGINE``."""
+    name = explicit or os.environ.get(ENGINE_ENV) or ENGINE_VECTOR
+    name = name.strip().lower()
+    if name not in _ENGINES:
+        raise PipelineError(
+            f"unknown simulator engine {name!r}; expected one of "
+            f"{list(_ENGINES)} (via engine= or ${ENGINE_ENV})"
+        )
+    return name
+
 
 @dataclass
 class SimulatedRunResult:
@@ -62,6 +140,9 @@ class SimulatedRunResult:
             requested (``run(..., record_trace=True)``); empty otherwise.
         arrival_times_s: When each task became available.  All zero for
             the default backlogged run; set by ``arrival_period_s``.
+        n_events: Event-loop iterations the run took - the DES cost
+            metric the micro-event regression tests bound, and a strong
+            cross-engine equivalence signal.
     """
 
     n_tasks: int
@@ -72,6 +153,7 @@ class SimulatedRunResult:
     chunk_pu: Dict[int, str] = field(default_factory=dict)
     spans: List[Span] = field(default_factory=list)
     arrival_times_s: List[float] = field(default_factory=list)
+    n_events: int = 0
 
     def end_to_end_latencies_s(self) -> List[float]:
         """Per-task arrival-to-completion latency.
@@ -119,7 +201,7 @@ class _StageCost:
 
 
 class _ChunkServer:
-    """Execution state of one chunk's dispatcher."""
+    """Execution state of one chunk's dispatcher (reference engine)."""
 
     def __init__(self, index: int, chunk: Chunk,
                  stage_costs: List[_StageCost]):
@@ -130,8 +212,9 @@ class _ChunkServer:
         self.stage = 0
         self.in_overhead = True
         self.remaining = 0.0
+        self.phase_total = 0.0
         self.noise_scale = 1.0
-        self.ready: List[int] = []  # upstream-completed task ids, FIFO
+        self.ready: Deque[int] = deque()  # upstream-completed ids, FIFO
         self.busy_s = 0.0
 
     @property
@@ -151,13 +234,14 @@ class _ChunkServer:
             self.remaining = cost.overhead_s
         else:
             self.remaining = cost.work_s * self.noise_scale
+        self.phase_total = self.remaining
 
     def advance(self, dt: float, rate: float) -> None:
         self.remaining -= dt * rate
         self.busy_s += dt
 
     def finished_phase(self) -> bool:
-        return self.remaining <= 1e-15
+        return self.remaining <= self.phase_total * _REL_EPS
 
     def next_phase(self, noise_scale_fn) -> Optional[int]:
         """Move to the next phase/stage.  Returns the completed task id
@@ -166,7 +250,8 @@ class _ChunkServer:
             self.in_overhead = False
             cost = self.stage_costs[self.stage]
             self.remaining = cost.work_s * self.noise_scale
-            if self.remaining > 1e-15:
+            self.phase_total = self.remaining
+            if self.remaining > 0.0:
                 return None
         self.stage += 1
         if self.stage < len(self.stage_costs):
@@ -175,6 +260,391 @@ class _ChunkServer:
         done = self.task
         self.task = _IDLE
         return done
+
+
+class _VectorEngine:
+    """The batched event kernel behind the default ``vector`` engine.
+
+    Per-server state lives in preallocated arrays indexed by server
+    position; rates are memoized per *phase signature* - the tuple of
+    per-server phase codes (``-1`` idle, else ``stage * 2 + work_flag``)
+    - because between events the instantaneous rate vector is a pure
+    function of that signature plus the run-constant external load.
+    Wide pipelines advance and reduce with vectorized numpy operations;
+    narrow ones (the common 2-4 chunk schedules) use an unrolled scalar
+    core over the same state, where numpy dispatch overhead would
+    dominate.  Both cores perform identical float arithmetic, so engine
+    output is independent of the core taken.
+    """
+
+    def __init__(self, executor: "SimulatedPipelineExecutor"):
+        self._ex = executor
+        servers = executor._servers
+        n = self.n = len(servers)
+        self.costs = [s.stage_costs for s in servers]
+        self.n_stages = [len(c) for c in self.costs]
+        self.pu_class = [s.chunk.pu_class for s in servers]
+        self.external = executor._external
+        self.platform = executor.platform
+        self.total_other = max(len(self.platform.pu_classes()) - 1, 0)
+        self.use_arrays = n > _SCALAR_CORE_MAX_SERVERS
+        # -- preallocated per-server state ------------------------------
+        if self.use_arrays:
+            self.remaining = np.full(n, np.inf)
+            self.busy = np.zeros(n)
+            self.phase_eps = np.full(n, -1.0)
+            self.active_f = np.zeros(n)
+            self._dts = np.empty(n)
+            self._tmp = np.empty(n)
+            self._idle_remaining = np.inf
+        else:
+            self.remaining = [0.0] * n
+            self.busy = [0.0] * n
+            self.phase_eps = [-1.0] * n
+            self.active_f = [0.0] * n
+            self._idle_remaining = 0.0
+        self.stage = [0] * n
+        self.task = [_IDLE] * n
+        self.noise = [1.0] * n
+        self.overhead = [False] * n
+        self.sig = [-1] * n
+        self.ready: List[Deque[int]] = [deque() for _ in range(n)]
+        self.n_active = 0
+        #: signature -> (active index list, per-active rate list,
+        #: full-width rate array for the vector core or None).
+        self.rate_cache: Dict[Tuple[int, ...], tuple] = {}
+
+    # -- state transitions (shared by both cores) ----------------------
+    def _reset(self) -> None:
+        n = self.n
+        if self.use_arrays:
+            self.remaining.fill(np.inf)
+            self.busy.fill(0.0)
+            self.phase_eps.fill(-1.0)
+            self.active_f.fill(0.0)
+        else:
+            for i in range(n):
+                self.remaining[i] = 0.0
+                self.busy[i] = 0.0
+                self.phase_eps[i] = -1.0
+                self.active_f[i] = 0.0
+        for i in range(n):
+            self.stage[i] = 0
+            self.task[i] = _IDLE
+            self.noise[i] = 1.0
+            self.overhead[i] = False
+            self.sig[i] = -1
+            self.ready[i].clear()
+        self.n_active = 0
+
+    def _enter_stage(self, i: int, scale_fn) -> None:
+        stage = self.stage[i]
+        cost = self.costs[i][stage]
+        noise = scale_fn(self.task[i], stage)
+        self.noise[i] = noise
+        if cost.overhead_s > 0.0:
+            self.overhead[i] = True
+            remaining = cost.overhead_s
+            self.sig[i] = stage * 2
+        else:
+            self.overhead[i] = False
+            remaining = cost.work_s * noise
+            self.sig[i] = stage * 2 + 1
+        self.remaining[i] = remaining
+        self.phase_eps[i] = remaining * _REL_EPS
+
+    def _begin_task(self, i: int, task_id: int, scale_fn) -> None:
+        self.task[i] = task_id
+        self.stage[i] = 0
+        self.active_f[i] = 1.0
+        self.n_active += 1
+        self._enter_stage(i, scale_fn)
+
+    def _next_phase(self, i: int, scale_fn) -> Optional[int]:
+        if self.overhead[i]:
+            self.overhead[i] = False
+            stage = self.stage[i]
+            work = self.costs[i][stage].work_s * self.noise[i]
+            self.remaining[i] = work
+            self.phase_eps[i] = work * _REL_EPS
+            self.sig[i] = stage * 2 + 1
+            if work > 0.0:
+                return None
+        self.stage[i] += 1
+        if self.stage[i] < self.n_stages[i]:
+            self._enter_stage(i, scale_fn)
+            return None
+        done = self.task[i]
+        self.task[i] = _IDLE
+        self.sig[i] = -1
+        self.remaining[i] = self._idle_remaining
+        self.phase_eps[i] = -1.0
+        self.active_f[i] = 0.0
+        self.n_active -= 1
+        return done
+
+    # -- instantaneous rates -------------------------------------------
+    def _rates_for(self, key: Tuple[int, ...]) -> tuple:
+        """Rates for every active server under one phase signature.
+
+        One pass over the active set, using the same scalar model calls
+        as the reference engine so cached vectors are bit-equal to what
+        a per-event recomputation would produce.
+        """
+        active = [i for i in range(self.n) if key[i] != -1]
+        busy_classes = {self.pu_class[i] for i in active}
+        external = self.external
+        total_demand = 0.0
+        for i in active:
+            if key[i] & 1:
+                total_demand += self.costs[i][key[i] >> 1].demand_gbps
+        if external is not None:
+            total_demand += external.demand_gbps
+        rates: List[float] = []
+        for i in active:
+            if not key[i] & 1:
+                rates.append(1.0)
+                continue
+            cost = self.costs[i][key[i] >> 1]
+            pu_class = self.pu_class[i]
+            co_load = external_co_load(
+                busy_classes, pu_class, external, self.total_other,
+            )
+            rate = self.platform.instantaneous_rate(
+                memory_boundedness=cost.memory_boundedness,
+                pu_class=pu_class,
+                demand_gbps=cost.demand_gbps,
+                total_demand_gbps=total_demand,
+                co_load=co_load,
+            )
+            if external is not None:
+                # A foreign co-runner on the *same* class time-shares
+                # the cluster (fair-share split).
+                share = external.busy.get(pu_class, 0.0)
+                if share > 0.0:
+                    rate /= 1.0 + share
+            rates.append(rate)
+        full = None
+        if self.use_arrays:
+            full = np.ones(self.n)
+            full[active] = rates
+        entry = (active, rates, full)
+        self.rate_cache[key] = entry
+        return entry
+
+    # -- the event loop ------------------------------------------------
+    def run_window(
+        self,
+        n_tasks: int,
+        record_trace: bool,
+        arrivals: List[float],
+        scale_fns: List[Callable[[int, int], float]],
+    ):
+        self._reset()
+        remaining = self.remaining
+        busy = self.busy
+        phase_eps = self.phase_eps
+        task = self.task
+        ready = self.ready
+        depth = self._ex.depth
+        n = self.n
+        use_arrays = self.use_arrays
+        rate_cache = self.rate_cache
+
+        now = 0.0
+        issued = 0
+        events = 0
+        completed: List[float] = []
+        spans: List[Span] = []
+        span_starts: Dict[int, float] = {}
+        dirty = True
+        entry = None
+
+        while len(completed) < n_tasks:
+            events += 1
+            # Admit work.
+            if (
+                task[0] == _IDLE
+                and issued < n_tasks
+                and issued - len(completed) < depth
+                and arrivals[issued] <= now + 1e-15
+            ):
+                self._begin_task(0, issued, scale_fns[0])
+                if record_trace:
+                    span_starts[0] = now
+                issued += 1
+                dirty = True
+            for i in range(1, n):
+                if task[i] == _IDLE and ready[i]:
+                    self._begin_task(i, ready[i].popleft(), scale_fns[i])
+                    if record_trace:
+                        span_starts[i] = now
+                    dirty = True
+
+            if self.n_active == 0:
+                if (
+                    issued < n_tasks
+                    and arrivals[issued] > now
+                    and issued - len(completed) < depth
+                ):
+                    now = arrivals[issued]  # idle until the next arrival
+                    continue
+                raise PipelineError(
+                    "pipeline deadlock: nothing active, tasks pending"
+                )
+
+            # Instantaneous rates: recomputed (or recalled) only when
+            # the phase signature changed since the last event.
+            if dirty:
+                key = tuple(self.sig)
+                entry = rate_cache.get(key)
+                if entry is None:
+                    entry = self._rates_for(key)
+                dirty = False
+            active, rates, full = entry
+
+            # Advance to the next phase completion (or next arrival,
+            # whichever lets the first chunk admit sooner).  The server
+            # defining dt is snapped to exactly 0 remaining after the
+            # advance, so no float residue survives.
+            if use_arrays:
+                np.divide(remaining, full, out=self._dts)
+                snap = int(self._dts.argmin())
+                dt = float(self._dts[snap])
+            else:
+                dt = None
+                snap = -1
+                for pos, i in enumerate(active):
+                    cand = remaining[i] / rates[pos]
+                    if dt is None or cand < dt:
+                        dt = cand
+                        snap = i
+            if dt < 0.0:
+                dt = 0.0
+            if (
+                task[0] == _IDLE
+                and issued < n_tasks
+                and issued - len(completed) < depth
+                and arrivals[issued] > now
+            ):
+                cap = arrivals[issued] - now
+                if cap < dt:
+                    dt = cap
+                    snap = -1
+            now += dt
+            if use_arrays:
+                tmp = self._tmp
+                np.multiply(full, dt, out=tmp)
+                np.subtract(remaining, tmp, out=remaining)
+                np.multiply(self.active_f, dt, out=tmp)
+                np.add(busy, tmp, out=busy)
+            else:
+                for pos, i in enumerate(active):
+                    remaining[i] -= dt * rates[pos]
+                    busy[i] += dt
+            if snap >= 0:
+                remaining[snap] = 0.0
+
+            # Process completions (any server whose phase drained),
+            # in server order like the reference scan.
+            for i in active:
+                if task[i] == _IDLE or remaining[i] > phase_eps[i]:
+                    continue
+                previous_task = task[i]
+                done_task = self._next_phase(i, scale_fns[i])
+                dirty = True
+                if done_task is None:
+                    continue
+                if record_trace:
+                    spans.append(record_span(
+                        chunk_index=i,
+                        pu_class=self.pu_class[i],
+                        task_id=previous_task,
+                        start_s=span_starts.pop(i, now),
+                        end_s=now,
+                        tenant=self._ex.tenant,
+                    ))
+                if i + 1 < n:
+                    ready[i + 1].append(done_task)
+                else:
+                    completed.append(now)
+
+        busy_s = {i: float(busy[i]) for i in range(n)}
+        return completed, spans, busy_s, now, events
+
+
+@dataclass(frozen=True)
+class SimWindow:
+    """One independent simulation window of a batch.
+
+    Attributes:
+        executor: The executor whose pipeline the window runs on.
+        n_tasks: Tasks streamed through the window.
+        record_trace: Forwarded to :meth:`SimulatedPipelineExecutor.run`.
+        arrival_period_s: Forwarded likewise.
+    """
+
+    executor: "SimulatedPipelineExecutor"
+    n_tasks: int
+    record_trace: bool = False
+    arrival_period_s: Optional[float] = None
+
+
+@dataclass
+class SimBatchOutcome:
+    """Result (or captured error) of one window of an error-collecting
+    batch: exactly one of ``result``/``error`` is set."""
+
+    result: Optional[SimulatedRunResult] = None
+    error: Optional[Exception] = None
+
+
+def simulate_batch(
+    windows: Sequence[SimWindow],
+    collect_errors: bool = False,
+):
+    """Simulate many independent windows in one call.
+
+    The batch entry point the serving layer (all tenants of a tick) and
+    the autotuner (all measurements of a round) use: each window runs
+    on its own executor, so executors repeated across windows keep
+    their preallocated engine state and warm rate-signature and noise
+    caches instead of paying per-window setup.
+
+    Args:
+        windows: The windows, simulated in order (each is independent,
+            so order only matters for error reporting).
+        collect_errors: When true, a window raising a
+            :class:`~repro.errors.ReproError` (e.g. injected PU
+            dropout) yields a :class:`SimBatchOutcome` carrying the
+            error instead of aborting the batch, and the return value
+            is a list of outcomes.  When false (default), results are
+            returned directly and the first error propagates.
+    """
+    from repro.errors import ReproError
+
+    if not collect_errors:
+        return [
+            window.executor.run(
+                window.n_tasks,
+                record_trace=window.record_trace,
+                arrival_period_s=window.arrival_period_s,
+            )
+            for window in windows
+        ]
+    outcomes: List[SimBatchOutcome] = []
+    for window in windows:
+        try:
+            result = window.executor.run(
+                window.n_tasks,
+                record_trace=window.record_trace,
+                arrival_period_s=window.arrival_period_s,
+            )
+        except ReproError as error:
+            outcomes.append(SimBatchOutcome(error=error))
+        else:
+            outcomes.append(SimBatchOutcome(result=result))
+    return outcomes
 
 
 class SimulatedPipelineExecutor:
@@ -200,6 +670,9 @@ class SimulatedPipelineExecutor:
             ``1 + fraction`` (time-sharing).
         tenant: Optional tenant/job id stamped on recorded trace spans
             so multi-tenant Gantt charts can separate the streams.
+        engine: Event-loop engine, ``"vector"`` (default) or
+            ``"reference"``; ``None`` defers to the
+            ``REPRO_SIM_ENGINE`` environment variable.
     """
 
     def __init__(
@@ -211,6 +684,7 @@ class SimulatedPipelineExecutor:
         fault_injector: Optional[FaultInjector] = None,
         external_load: Optional[ExternalLoad] = None,
         tenant: Optional[str] = None,
+        engine: Optional[str] = None,
     ):
         from repro.runtime.pipeline import _check_chunk_cover
 
@@ -226,6 +700,7 @@ class SimulatedPipelineExecutor:
         self.depth = depth if depth is not None else len(self.chunks) + 1
         if self.depth < 1:
             raise PipelineError("multi-buffering depth must be >= 1")
+        self.engine = _resolve_engine(engine)
         self._servers = [
             _ChunkServer(i, chunk, self._costs_for(chunk))
             for i, chunk in enumerate(self.chunks)
@@ -242,6 +717,12 @@ class SimulatedPipelineExecutor:
         # (task, stage) -> jitter scale; the digest + RNG construction
         # dominates the DES hot path without it.
         self._noise_cache: Dict[Tuple[int, int], float] = {}
+        #: Digest + RNG constructions performed so far - a deterministic
+        #: hook for cache-effectiveness tests (wall-clock comparisons of
+        #: cold-vs-warm runs flake on loaded CI machines).
+        self.noise_cache_misses = 0
+        self._vector_engine: Optional[_VectorEngine] = None
+        self._scale_fns: Optional[List[Callable[[int, int], float]]] = None
 
     def _costs_for(self, chunk: Chunk) -> List[_StageCost]:
         costs = []
@@ -268,6 +749,7 @@ class SimulatedPipelineExecutor:
         cached = self._noise_cache.get(key)
         if cached is not None:
             return cached
+        self.noise_cache_misses += 1
         digest = hashlib.blake2b(
             f"{self.platform.name}|{self._schedule_key}|{task_id}|{stage}"
             .encode(),
@@ -301,6 +783,13 @@ class SimulatedPipelineExecutor:
 
         return scale
 
+    def _make_scale_fns(self) -> List[Callable[[int, int], float]]:
+        if self._scale_fns is None:
+            self._scale_fns = [
+                self._make_scale_fn(s) for s in self._servers
+            ]
+        return self._scale_fns
+
     def run(self, n_tasks: int,
             record_trace: bool = False,
             arrival_period_s: Optional[float] = None) -> SimulatedRunResult:
@@ -322,20 +811,64 @@ class SimulatedPipelineExecutor:
         arrivals = [
             (arrival_period_s or 0.0) * t for t in range(n_tasks)
         ]
+        scale_fns = self._make_scale_fns()
+        if self.engine == ENGINE_REFERENCE:
+            completed, spans, busy_s, now, events = self._run_reference(
+                n_tasks, record_trace, arrivals, scale_fns
+            )
+        else:
+            if self._vector_engine is None:
+                self._vector_engine = _VectorEngine(self)
+            completed, spans, busy_s, now, events = (
+                self._vector_engine.run_window(
+                    n_tasks, record_trace, arrivals, scale_fns
+                )
+            )
+        return self._finalize(
+            n_tasks, completed, spans, busy_s, now, events, arrivals
+        )
+
+    def run_batch(
+        self,
+        n_tasks: Sequence[int],
+        record_trace: bool = False,
+        arrival_period_s: Optional[float] = None,
+    ) -> List[SimulatedRunResult]:
+        """Simulate several independent windows back to back.
+
+        All windows share this executor's engine state - preallocated
+        arrays, warm rate-signature cache, warm noise cache - so a
+        batch is cheaper than constructing an executor per window (the
+        pattern serving ticks and autotuner rounds used to follow).
+        """
+        return simulate_batch([
+            SimWindow(self, n, record_trace=record_trace,
+                      arrival_period_s=arrival_period_s)
+            for n in n_tasks
+        ])
+
+    # -- reference engine ----------------------------------------------
+    def _run_reference(
+        self,
+        n_tasks: int,
+        record_trace: bool,
+        arrivals: List[float],
+        scale_fns: List[Callable[[int, int], float]],
+    ):
         for server in self._servers:
             server.task = _IDLE
             server.ready.clear()
             server.busy_s = 0.0
 
-        scale_fns = [self._make_scale_fn(s) for s in self._servers]
         now = 0.0
         issued = 0
+        events = 0
         completed: List[float] = []
         spans: List[Span] = []
         span_starts: Dict[int, float] = {}
-        total_other = max(len(self.platform.pu_classes()) - 1, 0)
 
         while len(completed) < n_tasks:
+            events += 1
             # Admit work.
             first = self._servers[0]
             if (
@@ -350,7 +883,7 @@ class SimulatedPipelineExecutor:
                 issued += 1
             for server in self._servers[1:]:
                 if server.idle and server.ready:
-                    server.begin_task(server.ready.pop(0),
+                    server.begin_task(server.ready.popleft(),
                                       scale_fns[server.index])
                     if record_trace:
                         span_starts[server.index] = now
@@ -387,7 +920,8 @@ class SimulatedPipelineExecutor:
                 cost = server.stage_costs[server.stage]
                 co_load = external_co_load(
                     busy_classes, server.chunk.pu_class,
-                    self._external, total_other,
+                    self._external,
+                    max(len(self.platform.pu_classes()) - 1, 0),
                 )
                 rate = self.platform.instantaneous_rate(
                     memory_boundedness=cost.memory_boundedness,
@@ -407,10 +941,16 @@ class SimulatedPipelineExecutor:
                 rates[server.index] = rate
 
             # Advance to the next phase completion (or next arrival,
-            # whichever lets the first chunk admit sooner).
-            dt = min(
-                server.remaining / rates[server.index] for server in active
-            )
+            # whichever lets the first chunk admit sooner).  The server
+            # defining dt drains exactly: its remaining snaps to 0.0
+            # after the advance, leaving no float residue.
+            dt = None
+            snap: Optional[_ChunkServer] = None
+            for server in active:
+                candidate = server.remaining / rates[server.index]
+                if dt is None or candidate < dt:
+                    dt = candidate
+                    snap = server
             dt = max(dt, 0.0)
             if (
                 first.idle
@@ -418,10 +958,15 @@ class SimulatedPipelineExecutor:
                 and issued - len(completed) < self.depth
                 and arrivals[issued] > now
             ):
-                dt = min(dt, arrivals[issued] - now)
+                cap = arrivals[issued] - now
+                if cap < dt:
+                    dt = cap
+                    snap = None
             now += dt
             for server in active:
                 server.advance(dt, rates[server.index])
+            if snap is not None:
+                snap.remaining = 0.0
 
             # Process completions (any server whose phase drained).
             for position, server in enumerate(self._servers):
@@ -445,6 +990,20 @@ class SimulatedPipelineExecutor:
                 else:
                     completed.append(now)
 
+        busy_s = {s.index: s.busy_s for s in self._servers}
+        return completed, spans, busy_s, now, events
+
+    # -- shared post-run -----------------------------------------------
+    def _finalize(
+        self,
+        n_tasks: int,
+        completed: List[float],
+        spans: List[Span],
+        busy_s: Dict[int, float],
+        now: float,
+        events: int,
+        arrivals: List[float],
+    ) -> SimulatedRunResult:
         # Observability is strictly post-hoc: one guard check per run
         # (never per event), so the DES loop above stays allocation-free
         # when tracing is off - the overhead benchmark pins this down.
@@ -465,10 +1024,11 @@ class SimulatedPipelineExecutor:
             total_s=now,
             completion_times_s=completed,
             steady_interval_s=steady,
-            chunk_busy_s={s.index: s.busy_s for s in self._servers},
+            chunk_busy_s=busy_s,
             chunk_pu={s.index: s.chunk.pu_class for s in self._servers},
             spans=spans,
             arrival_times_s=arrivals,
+            n_events=events,
         )
 
     def _steady_interval(self, completions: Sequence[float]) -> float:
@@ -481,11 +1041,14 @@ class SimulatedPipelineExecutor:
         span = completions[-1] - completions[warm - 1]
         return span / (n - warm)
 
+    def measured_latency(self, result: SimulatedRunResult) -> float:
+        """One noisy timer observation of a run's steady interval."""
+        rng = self.platform.measurement_rng(
+            "pipeline", self._schedule_key, result.n_tasks
+        )
+        return self.platform.measure(result.steady_interval_s, rng)
+
     def measure_per_task_latency(self, n_tasks: int = 30) -> float:
         """One noisy timer observation of the steady per-task latency
         (the number the paper's 30-task runs report)."""
-        result = self.run(n_tasks)
-        rng = self.platform.measurement_rng(
-            "pipeline", self._schedule_key, n_tasks
-        )
-        return self.platform.measure(result.steady_interval_s, rng)
+        return self.measured_latency(self.run(n_tasks))

@@ -38,7 +38,11 @@ from repro.errors import ReproError, ServeError
 from repro.obs.metrics import metrics
 from repro.obs.recorder import recorder
 from repro.obs.tracer import tracer
-from repro.runtime.simulator import SimulatedPipelineExecutor
+from repro.runtime.simulator import (
+    SimWindow,
+    SimulatedPipelineExecutor,
+    simulate_batch,
+)
 from repro.runtime.trace import Span
 from repro.runtime.watchdog import (
     Heartbeat,
@@ -451,37 +455,63 @@ class PipelineServer:
         return ExternalLoad.combined(loads)
 
     def _serve_windows(self, tick: int) -> None:
+        """Serve one window per running tenant, as one simulator batch.
+
+        Every tenant's window is simulated against the external-load
+        snapshot taken at tick start (a *tick-consistent co-load view*):
+        all running tenants of a tick see each other's offered load
+        regardless of who completes, reschedules, or fails while the
+        tick's windows are processed.  That is what lets the whole
+        tick run through :func:`simulate_batch` in one call.
+        """
+        batch: List[tuple] = []
         for name, record in self._running().items():
             self._heartbeat.check_cancelled()
+            assert (record.plan is not None
+                    and record.schedule is not None)
             try:
-                self._serve_one_window(tick, name, record)
+                external = self._external_for(name, tick)
+                executor = SimulatedPipelineExecutor(
+                    record.spec.application,
+                    record.schedule.chunks(),
+                    self.platform,
+                    external_load=external,
+                    tenant=name,
+                )
             except ReproError as error:
-                if name in self.placement.partitions:
-                    self.placement.release(name)
-                record.status = FAILED
-                record.status_detail = str(error)
-                self._event(tick, "fail", name, reason=str(error))
-
-    def _serve_one_window(self, tick: int, name: str,
-                          record: TenantRecord) -> None:
-        with tracer().span("serve.window", "serve",
-                           tenant=name, tick=tick,
-                           window=record.windows_done):
-            self._serve_one_window_inner(tick, name, record)
-
-    def _serve_one_window_inner(self, tick: int, name: str,
-                                record: TenantRecord) -> None:
-        assert record.plan is not None and record.schedule is not None
-        external = self._external_for(name, tick)
-        executor = SimulatedPipelineExecutor(
-            record.spec.application,
-            record.schedule.chunks(),
-            self.platform,
-            external_load=external,
-            tenant=name,
+                self._fail_tenant(tick, name, record, error)
+                continue
+            batch.append((name, record, external, SimWindow(
+                executor, record.spec.window_tasks, record_trace=True,
+            )))
+        if not batch:
+            return
+        outcomes = simulate_batch(
+            [entry[3] for entry in batch], collect_errors=True,
         )
-        result = executor.run(record.spec.window_tasks,
-                              record_trace=True)
+        for (name, record, external, _), outcome in zip(batch, outcomes):
+            try:
+                with tracer().span("serve.window", "serve",
+                                   tenant=name, tick=tick,
+                                   window=record.windows_done):
+                    if outcome.error is not None:
+                        raise outcome.error
+                    self._finish_window(tick, name, record,
+                                        external, outcome.result)
+            except ReproError as error:
+                self._fail_tenant(tick, name, record, error)
+
+    def _fail_tenant(self, tick: int, name: str, record: TenantRecord,
+                     error: ReproError) -> None:
+        if name in self.placement.partitions:
+            self.placement.release(name)
+        record.status = FAILED
+        record.status_detail = str(error)
+        self._event(tick, "fail", name, reason=str(error))
+
+    def _finish_window(self, tick: int, name: str,
+                       record: TenantRecord,
+                       external: ExternalLoad, result) -> None:
         measured = result.steady_interval_s
         regime = self.rescheduler.classify(record, measured)
         record.windows_done += 1

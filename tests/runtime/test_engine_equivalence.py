@@ -1,0 +1,261 @@
+"""Byte-for-byte equivalence of the two DES engines.
+
+The ``vector`` batch-event kernel is only allowed to be *faster* than
+the ``reference`` scalar loop - never different.  Every test serializes
+the full :class:`SimulatedRunResult` (completions, busy seconds,
+recorded spans, steady interval, event counts) from both engines and
+compares the JSON bytes, across schedules, depths, arrival processes,
+fault injection, and external load.  The kernel's rate memoization is
+exact, not approximate: rates between events are a pure function of
+the discrete phase signature, so a cached vector must be bit-equal to
+a recomputed one - which is what byte-comparison (rather than
+``pytest.approx``) pins down.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+import repro.runtime.simulator as sim
+from repro.apps import build_octree_application
+from repro.core import Chunk
+from repro.errors import PipelineError, PuFailureError
+from repro.runtime import (
+    FaultInjector,
+    FaultPlan,
+    PuDropoutSpec,
+    SimulatedPipelineExecutor,
+    SlowdownSpec,
+)
+from repro.soc import get_platform
+from repro.soc.interference import ExternalLoad
+from repro.soc.pu import BIG, GPU, LITTLE, MEDIUM
+
+
+@pytest.fixture(scope="module")
+def pixel():
+    return get_platform("pixel7a")
+
+
+@pytest.fixture(scope="module")
+def app():
+    return build_octree_application(n_points=20_000)
+
+
+SCHEDULES = {
+    "serial": [Chunk(0, 7, BIG)],
+    "two-way": [Chunk(0, 4, BIG), Chunk(4, 7, GPU)],
+    "four-way": [Chunk(0, 2, BIG), Chunk(2, 4, GPU),
+                 Chunk(4, 6, MEDIUM), Chunk(6, 7, LITTLE)],
+    "max-split": [Chunk(0, 1, LITTLE), Chunk(1, 2, MEDIUM),
+                  Chunk(2, 5, GPU), Chunk(5, 7, BIG)],
+}
+
+EXTERNAL = ExternalLoad(busy={BIG: 0.5, GPU: 0.25}, demand_gbps=2.0)
+
+
+def serialized(result):
+    return json.dumps(dataclasses.asdict(result), sort_keys=True)
+
+
+def run_both(app, pixel, chunks, n=20, record_trace=True, **kwargs):
+    run_args = {
+        key: kwargs.pop(key)
+        for key in ("arrival_period_s",) if key in kwargs
+    }
+    results = []
+    for engine in ("vector", "reference"):
+        executor = SimulatedPipelineExecutor(
+            app, chunks, pixel, engine=engine, **kwargs
+        )
+        results.append(
+            executor.run(n, record_trace=record_trace, **run_args)
+        )
+    return results
+
+
+def assert_equivalent(app, pixel, chunks, **kwargs):
+    vector, reference = run_both(app, pixel, chunks, **kwargs)
+    assert serialized(vector) == serialized(reference)
+
+
+class TestEngineSelection:
+    def test_env_var_selects_reference(self, app, pixel, monkeypatch):
+        monkeypatch.setenv(sim.ENGINE_ENV, "reference")
+        executor = SimulatedPipelineExecutor(
+            app, SCHEDULES["serial"], pixel
+        )
+        assert executor.engine == sim.ENGINE_REFERENCE
+
+    def test_explicit_argument_beats_env(self, app, pixel, monkeypatch):
+        monkeypatch.setenv(sim.ENGINE_ENV, "reference")
+        executor = SimulatedPipelineExecutor(
+            app, SCHEDULES["serial"], pixel, engine="vector"
+        )
+        assert executor.engine == sim.ENGINE_VECTOR
+
+    def test_unknown_engine_rejected(self, app, pixel):
+        with pytest.raises(PipelineError, match="unknown simulator"):
+            SimulatedPipelineExecutor(
+                app, SCHEDULES["serial"], pixel, engine="turbo"
+            )
+
+
+class TestByteEquivalence:
+    @pytest.mark.parametrize("schedule", sorted(SCHEDULES))
+    def test_across_schedules(self, app, pixel, schedule):
+        assert_equivalent(app, pixel, SCHEDULES[schedule])
+
+    @pytest.mark.parametrize("depth", [1, 2, 3, 8])
+    def test_across_depths(self, app, pixel, depth):
+        assert_equivalent(app, pixel, SCHEDULES["two-way"], depth=depth)
+
+    @pytest.mark.parametrize("period", [0.0005, 0.005, 0.05])
+    def test_across_arrival_periods(self, app, pixel, period):
+        assert_equivalent(app, pixel, SCHEDULES["four-way"],
+                          arrival_period_s=period)
+
+    def test_with_external_load(self, app, pixel):
+        assert_equivalent(app, pixel, SCHEDULES["four-way"],
+                          external_load=EXTERNAL)
+
+    def test_with_same_class_external_share(self, app, pixel):
+        # External load on a chunk's *own* class exercises the
+        # fair-share rate division.
+        assert_equivalent(
+            app, pixel, SCHEDULES["two-way"],
+            external_load=ExternalLoad(busy={BIG: 0.7},
+                                       demand_gbps=1.0),
+        )
+
+    def test_with_slowdown_faults(self, app, pixel):
+        def injector():
+            return FaultInjector(FaultPlan(slowdowns=[
+                SlowdownSpec(task_id=3, stage_index=2, factor=5.0,
+                             pu_class=BIG),
+                SlowdownSpec(task_id=7, stage_index=5, factor=2.5),
+            ]))
+
+        vector, reference = (
+            SimulatedPipelineExecutor(
+                app, SCHEDULES["two-way"], pixel, engine=engine,
+                fault_injector=injector(),
+            ).run(20, record_trace=True)
+            for engine in ("vector", "reference")
+        )
+        assert serialized(vector) == serialized(reference)
+
+    def test_pu_dropout_raises_in_both(self, app, pixel):
+        for engine in ("vector", "reference"):
+            executor = SimulatedPipelineExecutor(
+                app, SCHEDULES["two-way"], pixel, engine=engine,
+                fault_injector=FaultInjector(FaultPlan(dropouts=[
+                    PuDropoutSpec(pu_class=GPU, after_task=4),
+                ])),
+            )
+            with pytest.raises(PuFailureError):
+                executor.run(20)
+
+    def test_everything_at_once(self, app, pixel):
+        assert_equivalent(
+            app, pixel, SCHEDULES["max-split"], n=25, depth=3,
+            arrival_period_s=0.002, external_load=EXTERNAL,
+        )
+
+    def test_single_task(self, app, pixel):
+        assert_equivalent(app, pixel, SCHEDULES["two-way"], n=1)
+
+    def test_rerun_on_one_executor_stays_identical(self, app, pixel):
+        # Warm caches (rate signatures, noise) must not change results.
+        executor = SimulatedPipelineExecutor(
+            app, SCHEDULES["four-way"], pixel, external_load=EXTERNAL
+        )
+        first = serialized(executor.run(20, record_trace=True))
+        second = serialized(executor.run(20, record_trace=True))
+        reference = serialized(SimulatedPipelineExecutor(
+            app, SCHEDULES["four-way"], pixel, external_load=EXTERNAL,
+            engine="reference",
+        ).run(20, record_trace=True))
+        assert first == second == reference
+
+
+class TestArrayCore:
+    """The kernel's numpy core (wide pipelines) must match too; narrow
+    schedules take the scalar core, so force the array core's cutoff
+    down to cover it on the same cases."""
+
+    @pytest.fixture(autouse=True)
+    def force_array_core(self, monkeypatch):
+        monkeypatch.setattr(sim, "_SCALAR_CORE_MAX_SERVERS", 0)
+
+    @pytest.mark.parametrize("schedule", sorted(SCHEDULES))
+    def test_across_schedules(self, app, pixel, schedule):
+        assert_equivalent(app, pixel, SCHEDULES[schedule])
+
+    def test_everything_at_once(self, app, pixel):
+        assert_equivalent(
+            app, pixel, SCHEDULES["max-split"], n=25, depth=3,
+            arrival_period_s=0.002, external_load=EXTERNAL,
+        )
+
+    def test_wide_pipeline_uses_arrays_by_default(self, app, pixel,
+                                                  monkeypatch):
+        monkeypatch.setattr(sim, "_SCALAR_CORE_MAX_SERVERS", 8)
+        executor = SimulatedPipelineExecutor(
+            app, SCHEDULES["max-split"], pixel, engine="vector"
+        )
+        executor.run(5)
+        assert executor._vector_engine is not None
+        assert not executor._vector_engine.use_arrays  # 4 servers
+        wide = SimulatedPipelineExecutor(
+            app, SCHEDULES["max-split"], pixel, engine="vector"
+        )
+        monkeypatch.setattr(sim, "_SCALAR_CORE_MAX_SERVERS", 2)
+        wide.run(5)
+        assert wide._vector_engine.use_arrays
+
+
+class TestBatching:
+    def test_run_batch_matches_sequential_runs(self, app, pixel):
+        batch = SimulatedPipelineExecutor(
+            app, SCHEDULES["two-way"], pixel
+        ).run_batch([5, 10, 15])
+        singles = [
+            SimulatedPipelineExecutor(
+                app, SCHEDULES["two-way"], pixel
+            ).run(n)
+            for n in (5, 10, 15)
+        ]
+        assert ([serialized(r) for r in batch]
+                == [serialized(r) for r in singles])
+
+    def test_simulate_batch_collects_errors(self, app, pixel):
+        healthy = SimulatedPipelineExecutor(
+            app, SCHEDULES["two-way"], pixel
+        )
+        doomed = SimulatedPipelineExecutor(
+            app, SCHEDULES["two-way"], pixel,
+            fault_injector=FaultInjector(FaultPlan(dropouts=[
+                PuDropoutSpec(pu_class=GPU, after_task=0),
+            ])),
+        )
+        outcomes = sim.simulate_batch(
+            [sim.SimWindow(healthy, 5), sim.SimWindow(doomed, 5),
+             sim.SimWindow(healthy, 8)],
+            collect_errors=True,
+        )
+        assert outcomes[0].result is not None and outcomes[0].error is None
+        assert isinstance(outcomes[1].error, PuFailureError)
+        assert outcomes[1].result is None
+        assert outcomes[2].result.n_tasks == 8
+
+    def test_simulate_batch_propagates_without_collect(self, app, pixel):
+        doomed = SimulatedPipelineExecutor(
+            app, SCHEDULES["two-way"], pixel,
+            fault_injector=FaultInjector(FaultPlan(dropouts=[
+                PuDropoutSpec(pu_class=GPU, after_task=0),
+            ])),
+        )
+        with pytest.raises(PuFailureError):
+            sim.simulate_batch([sim.SimWindow(doomed, 5)])
