@@ -462,6 +462,111 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_fleet_report(report, sink: _TextSink) -> None:
+    """Human-readable summary of one fleet run."""
+    counts = report.counts
+    sink.line(f"fleet of {report.n_shards} shards served "
+              f"{report.ticks} ticks (seed {report.seed}, failover "
+              f"{'on' if report.failover_enabled else 'off'})")
+    sink.line(f"plan cache: {dict(report.plan_cache)}")
+    sink.line(f"failovers={counts.get('failover', 0)} "
+              f"migrations={counts.get('migrate', 0)} "
+              f"shed={counts.get('shed', 0)} "
+              f"breaker transitions={counts.get('breaker', 0)}")
+    survivors = [m for m in report.tenants.values()
+                 if m.status == "completed"]
+    if survivors:
+        sink.line(f"surviving p95: {report.surviving_p95_s * 1e3:.3f}ms "
+                  f"(slowdown x{report.surviving_p95_slowdown:.3f}) "
+                  f"over {len(survivors)} tenants")
+    sink.line()
+    sink.line("shards:")
+    for name in sorted(report.shards):
+        s = report.shards[name]
+        sink.line(f"  {name:8s} {s['state']:10s} "
+                  f"breaker={s['breaker']:<9s} "
+                  f"generation={s['generation']} "
+                  f"windows={s['windows_served']}")
+    sink.line()
+    sink.line("tenants:")
+    for name in sorted(report.tenants):
+        m = report.tenants[name]
+        line = (f"  {name:12s} {m.status:10s} "
+                f"windows={m.windows_served:<3d} "
+                f"migrations={m.migrations}")
+        if m.windows_served:
+            line += (f"  p50={m.p50_latency_s * 1e3:.3f}ms "
+                     f"p95={m.p95_latency_s * 1e3:.3f}ms")
+        line += f"  via {'>'.join(m.shards) if m.shards else '-'}"
+        sink.line(line)
+    sink.line()
+    sink.line("chaos events:")
+    for event in report.chaos_events:
+        sink.line(f"  tick {event['tick']:>3}  {event['kind']:<14} "
+                  f"{event['shard']:<8} {event['detail']}")
+    control = [e for e in report.timeline
+               if e["event"] in ("failover", "shed", "breaker",
+                                 "shard_state", "reject", "fail")]
+    sink.line()
+    sink.line("control-plane events:")
+    for event in control:
+        who = event.get("shard", event.get("tenant", ""))
+        extra = {k: v for k, v in event.items()
+                 if k not in ("tick", "event", "shard", "tenant")}
+        sink.line(f"  tick {event['tick']:>3}  {event['event']:<12} "
+                  f"{who:<10} {extra if extra else ''}")
+
+
+def cmd_fleet(args: argparse.Namespace) -> int:
+    """Run the fleet soak: N SoC shards under seeded chaos.
+
+    Runs the same deterministic scenario the fleet acceptance test and
+    the CI ``fleet-chaos`` job use: twelve tenants on four shards with
+    a mid-run gray failure, a shard crash + delayed rejoin, and a
+    PU-class brownout that trips the SLO-breach failover.
+
+    ``--no-failover`` strands dead shards' tenants instead of
+    re-placing them (the baseline the chaos run is measured against);
+    ``--json`` prints the fleet report as the only stdout output;
+    ``--trace-out`` runs under observability capture and exports a
+    Chrome/Perfetto trace.
+    """
+    import repro.obs as obs
+    from repro.fleet import FleetSoakScenario, build_fleet
+
+    scenario = FleetSoakScenario(
+        seed=args.seed,
+        n_shards=args.shards,
+        n_tenants=args.tenants,
+        platform_name=args.platform,
+        max_ticks=args.max_ticks,
+    )
+    sink = _TextSink(json_mode=args.json)
+    failover = not args.no_failover
+    if args.trace_out:
+        with obs.capture() as cap:
+            router = build_fleet(scenario, failover=failover)
+            report = router.run(timeout_s=args.timeout_s)
+            snapshot = cap.metrics.snapshot()
+            payload = report.to_dict()
+            payload["metrics"] = snapshot
+            trace = obs.chrome_trace(cap.events, snapshot)
+        obs.write_trace(args.trace_out, trace)
+        sink.note(f"trace ({len(cap.events)} events) saved to "
+                  f"{args.trace_out}")
+    else:
+        router = build_fleet(scenario, failover=failover)
+        report = router.run(timeout_s=args.timeout_s)
+        payload = report.to_dict()
+    _print_fleet_report(report, sink)
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    if args.out:
+        write_json_report(args.out, payload)
+        sink.note(f"fleet report saved to {args.out}")
+    return 0
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run a flow under observability capture and export its trace.
 
@@ -762,6 +867,33 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock drain deadline")
     p.add_argument("--out", help="save the serve report as JSON")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("fleet",
+                       help="run the fleet soak: SoC shards under "
+                            "seeded chaos (deterministic)")
+    p.add_argument("--platform", default="pixel7a",
+                   help="shard platform (see `platforms`)")
+    p.add_argument("--seed", type=int, default=7,
+                   help="fleet seed (same seed, same bytes)")
+    p.add_argument("--shards", type=int, default=4,
+                   help="number of SoC shards (>= 4)")
+    p.add_argument("--tenants", type=int, default=12,
+                   help="number of tenants (>= 12)")
+    p.add_argument("--max-ticks", type=int, default=96,
+                   help="fleet tick budget")
+    p.add_argument("--no-failover", action="store_true",
+                   help="strand dead shards' tenants instead of "
+                        "re-placing them (chaos baseline)")
+    p.add_argument("--json", action="store_true",
+                   help="print the fleet report as JSON on stdout "
+                        "(suppresses all human-readable output)")
+    p.add_argument("--trace-out",
+                   help="run under observability capture and export a "
+                        "Chrome/Perfetto trace of the fleet run")
+    p.add_argument("--timeout-s", type=float, default=600.0,
+                   help="wall-clock drain deadline")
+    p.add_argument("--out", help="save the fleet report as JSON")
+    p.set_defaults(fn=cmd_fleet)
 
     p = sub.add_parser("trace",
                        help="run a traced flow, export Perfetto/Chrome "

@@ -71,6 +71,12 @@ class ServeError(ReproError):
     PU oversubscription), and misuse of the server lifecycle."""
 
 
+class FleetError(ReproError):
+    """Raised by the fleet layer (:mod:`repro.fleet`) for invalid
+    chaos schedules, shard lifecycle misuse, and fleet configuration
+    errors."""
+
+
 class AnalysisError(ReproError):
     """Raised when the correctness tooling (``repro lint`` /
     ``repro race``) is misused: missing lint targets, unparseable

@@ -1,0 +1,725 @@
+"""The fleet router: N SoC shards, one deterministic control loop.
+
+Scale-out mirrors the single-SoC serving design one level up.  One
+supervised fleet loop thread owns every mutable fleet structure - the
+tenant registry, the backlog, the shard set - and drives all shards in
+lockstep through :class:`~repro.serve.server.PipelineServer`'s step
+mode.  Submissions cross threads through a lock-guarded inbox; after
+the inbox, everything is single-threaded, so a fleet run is a pure
+function of (platform set, tenant specs, chaos schedule, seed).
+
+Per tick, in fixed phase order:
+
+1. **chaos** - apply scheduled crashes, rejoins, gray windows, and
+   degradations (:mod:`repro.fleet.chaos`);
+2. **placement** - drain the inbox and place backlogged tenants on the
+   shard whose cached interference tables predict least impact (the
+   shard admission controller's ``predicted_impact``/latency, ties
+   broken by load then shard index), honouring each shard's circuit
+   breaker;
+3. **step** - advance every live shard one tick (beating its heartbeat
+   unless a gray window suppresses it);
+4. **harvest** - absorb new shard timeline events into fleet state
+   (window progress + latency samples, completions, shard-level
+   evictions back into the backlog as migrations, failures);
+5. **health** - classify every shard from heartbeat counts and window
+   latency ratios, advance circuit breakers, and on shard death or
+   sustained SLO breach hand the shard to the
+   :class:`~repro.fleet.coordinator.FailoverCoordinator`.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.analysis.lock_order import checked_lock
+from repro.core.plan_cache import PlanCache
+from repro.errors import FleetError, ReproError
+from repro.obs.metrics import metrics
+from repro.obs.recorder import recorder
+from repro.obs.tracer import tracer
+from repro.runtime.faults import (
+    DEGRADE_END,
+    DEGRADE_START,
+    GRAY_END,
+    GRAY_START,
+    SOC_CRASH,
+    SOC_REJOIN,
+)
+from repro.runtime.watchdog import (
+    Heartbeat,
+    Watchdog,
+    WatchdogConfig,
+    supervised_thread,
+)
+from repro.serve.admission import ADMIT
+from repro.serve.server import DriftSpec, ServerConfig
+from repro.serve.tenant import (
+    COMPLETED,
+    FAILED,
+    PENDING,
+    REJECTED,
+    RUNNING,
+    TenantSpec,
+)
+from repro.fleet.chaos import ChaosInjector, ChaosSchedule
+from repro.fleet.coordinator import FailoverCoordinator
+from repro.fleet.health import (
+    CLOSED,
+    DEAD,
+    HALF_OPEN,
+    HEALTHY,
+    RECOVERING,
+    SHARD_STATE_CODES,
+    BreakerConfig,
+    CircuitBreaker,
+    HealthConfig,
+    HealthMonitor,
+)
+from repro.fleet.metrics import (
+    FleetReport,
+    FleetTenantMetrics,
+    surviving_p95,
+    surviving_p95_slowdown,
+)
+from repro.fleet.shard import ShardSpec, SoCShard
+from repro.fleet.tenant import FleetTenant
+from repro.soc.platforms import get_platform
+
+
+@dataclass
+class FleetConfig:
+    """Knobs for one fleet run."""
+
+    max_ticks: int = 128
+    max_impact_ratio: float = 2.5
+    max_partition_classes: Optional[int] = 1
+    reschedule: bool = True
+    profiling_repetitions: int = 3
+    candidates_k: int = 8
+    stall_timeout_s: float = 60.0
+    #: Ticks a tenant may wait in the fleet backlog before rejection.
+    backlog_patience: int = 24
+    #: Master switch: with failover off, dead shards strand their
+    #: tenants (the baseline the soak's strict-improvement test beats).
+    failover: bool = True
+    health: HealthConfig = field(default_factory=HealthConfig)
+    breaker: BreakerConfig = field(default_factory=BreakerConfig)
+
+    def __post_init__(self) -> None:
+        if self.max_ticks < 1:
+            raise FleetError("max_ticks must be >= 1")
+        if self.backlog_patience < 1:
+            raise FleetError("backlog_patience must be >= 1")
+
+    def server_config(self) -> ServerConfig:
+        """The per-shard server configuration this fleet config implies.
+
+        Shard queues are disabled: the *fleet* owns the backlog, and
+        shards only ever see synchronous :meth:`try_admit` placements.
+        """
+        return ServerConfig(
+            max_ticks=self.max_ticks,
+            queue_capacity=0,
+            max_impact_ratio=self.max_impact_ratio,
+            max_partition_classes=self.max_partition_classes,
+            reschedule=self.reschedule,
+            profiling_repetitions=self.profiling_repetitions,
+            candidates_k=self.candidates_k,
+            stall_timeout_s=self.stall_timeout_s,
+        )
+
+
+class FleetRouter:
+    """Serve streaming tenants across a fleet of virtual SoC shards."""
+
+    def __init__(
+        self,
+        shard_specs: Sequence[ShardSpec],
+        seed: int = 0,
+        config: Optional[FleetConfig] = None,
+        chaos: Optional[ChaosSchedule] = None,
+    ):
+        if not shard_specs:
+            raise FleetError("a fleet needs at least one shard")
+        names = [spec.name for spec in shard_specs]
+        if len(set(names)) != len(names):
+            raise FleetError(f"duplicate shard names in {names}")
+        self.seed = seed
+        self.config = config or FleetConfig()
+        self.chaos = ChaosInjector(chaos or ChaosSchedule(), seed=seed)
+        for spec in self.chaos.schedule.crashes:
+            if spec.shard not in set(names):
+                raise FleetError(
+                    f"chaos schedule names unknown shard {spec.shard!r}"
+                )
+
+        # Shards with the same (platform_name, platform_seed) share one
+        # platform object and one plan cache: profiling an application
+        # once serves every identical device, exactly like a fleet of
+        # phones sharing one offline-profiled model.
+        server_config = self.config.server_config()
+        platforms: Dict[Tuple[str, int], object] = {}
+        caches: Dict[Tuple[str, int], PlanCache] = {}
+        self.shards: List[SoCShard] = []
+        for index, spec in enumerate(shard_specs):
+            key = (spec.platform_name, spec.platform_seed)
+            if key not in platforms:
+                platforms[key] = get_platform(
+                    spec.platform_name, seed=spec.platform_seed
+                )
+                caches[key] = PlanCache(
+                    platforms[key],
+                    repetitions=self.config.profiling_repetitions,
+                    k=self.config.candidates_k,
+                )
+            self.shards.append(SoCShard(
+                index, spec, platforms[key], caches[key],
+                server_config, fleet_seed=seed,
+            ))
+        self.by_name = {shard.name: shard for shard in self.shards}
+        self._caches = list(caches.values())
+
+        self.monitor = HealthMonitor(self.config.health)
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        for shard in self.shards:
+            self.monitor.register(shard.name)
+            self.breakers[shard.name] = CircuitBreaker(
+                shard.name, self.config.breaker,
+                seed=seed * 1_000 + shard.index,
+            )
+        self.coordinator = FailoverCoordinator(self)
+
+        self.tenants: Dict[str, FleetTenant] = {}
+        self.timeline: List[Dict[str, object]] = []
+        self.ticks_executed = 0
+
+        self._inbox: Deque[TenantSpec] = deque()
+        self._inbox_lock = checked_lock("fleet.inbox-lock")
+        self._backlog: List[str] = []
+        self._arrival_counter = 0
+        self._shard_windows: Dict[str, int] = {
+            shard.name: 0 for shard in self.shards
+        }
+
+        self._heartbeat = Heartbeat(len(self.shards), "fleet-loop")
+        self._watchdog = Watchdog(
+            [self._heartbeat] + [s.heartbeat for s in self.shards],
+            WatchdogConfig(stall_timeout_s=self.config.stall_timeout_s),
+        )
+        self._thread: Optional[threading.Thread] = None
+        self._done = threading.Event()
+        self._stop_requested = threading.Event()
+        self._started = False
+        self._loop_error: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # Client surface
+    # ------------------------------------------------------------------
+    def submit(self, spec: TenantSpec) -> None:
+        """Queue one job for fleet placement (same contract as
+        :meth:`PipelineServer.submit`: pre-start submissions make the
+        run deterministic)."""
+        if self._done.is_set():
+            raise FleetError(
+                f"fleet has drained; cannot submit {spec.name!r}"
+            )
+        with self._inbox_lock:
+            if spec.name in self.tenants or any(
+                    pending.name == spec.name for pending in self._inbox):
+                raise FleetError(
+                    f"tenant name {spec.name!r} already submitted"
+                )
+            self._inbox.append(spec)
+
+    def start(self) -> None:
+        """Boot every shard and the supervised fleet loop."""
+        if self._started:
+            raise FleetError("fleet already started")
+        self._started = True
+        reg = metrics()
+        if reg.enabled:
+            for shard in self.shards:
+                reg.gauge(f"fleet.shard_state.{shard.name}",
+                          float(SHARD_STATE_CODES[HEALTHY]))
+        for shard in self.shards:
+            shard.boot()
+        self._watchdog.start()
+        self._thread = supervised_thread(
+            "fleet-loop", self._loop, self._heartbeat, self._watchdog
+        )
+        self._thread.start()
+
+    def drain(self, timeout_s: Optional[float] = None) -> FleetReport:
+        """Wait until every tenant is terminal, stop supervision, and
+        return the report."""
+        if not self._started or self._thread is None:
+            raise FleetError("fleet was never started")
+        if not self._done.wait(timeout_s):
+            self._stop_requested.set()
+            raise FleetError(
+                f"fleet did not drain within {timeout_s}s "
+                f"(tick {self.ticks_executed})"
+            )
+        self._thread.join()
+        self._watchdog.stop()
+        if self._loop_error is not None:
+            raise FleetError(f"fleet loop aborted: {self._loop_error}")
+        return self.report()
+
+    def stop(self) -> None:
+        """Request an early stop and wait for the loop to exit."""
+        self._stop_requested.set()
+        if self._thread is not None:
+            self._done.wait()
+            self._thread.join()
+            self._watchdog.stop()
+
+    def run(self, timeout_s: Optional[float] = None) -> FleetReport:
+        """Convenience: :meth:`start` + :meth:`drain`."""
+        self.start()
+        return self.drain(timeout_s)
+
+    def report(self) -> FleetReport:
+        """The (deterministic) fleet report for the run so far."""
+        shards: Dict[str, Dict[str, object]] = {}
+        for shard in self.shards:
+            shards[shard.name] = {
+                "state": self.monitor.state(shard.name),
+                "breaker": self.breakers[shard.name].state,
+                "generation": shard.generation,
+                "windows_served": self._shard_windows[shard.name],
+            }
+        cache_stats: Dict[str, int] = {}
+        for cache in self._caches:
+            for key, value in cache.stats().items():
+                cache_stats[key] = cache_stats.get(key, 0) + value
+        return FleetReport(
+            seed=self.seed,
+            ticks=self.ticks_executed,
+            n_shards=len(self.shards),
+            failover_enabled=self.config.failover,
+            tenants={
+                name: FleetTenantMetrics.from_tenant(tenant)
+                for name, tenant in self.tenants.items()
+            },
+            shards=shards,
+            timeline=list(self.timeline),
+            chaos_events=list(self.chaos.events),
+            surviving_p95_s=surviving_p95(self.tenants),
+            surviving_p95_slowdown=surviving_p95_slowdown(
+                self.tenants),
+            plan_cache=cache_stats,
+        )
+
+    # ------------------------------------------------------------------
+    # Fleet loop (single thread; owns all fleet state)
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        try:
+            for tick in range(self.config.max_ticks):
+                if self._stop_requested.is_set():
+                    break
+                self._heartbeat.start_task(tick)
+                self._tick(tick)
+                self._heartbeat.idle()
+                self.ticks_executed = tick + 1
+                if self._drained():
+                    break
+        except ReproError as error:
+            self._loop_error = str(error)
+        finally:
+            self._close_out()
+            self._done.set()
+
+    def _tick(self, tick: int) -> None:
+        with tracer().span("fleet.tick", "fleet", tick=tick):
+            self._apply_chaos(tick)
+            self._heartbeat.check_cancelled()
+            self._place_pending(tick)
+            self._heartbeat.check_cancelled()
+            self._step_shards(tick)
+            self._harvest(tick)
+            self._assess_health(tick)
+
+    def _drained(self) -> bool:
+        with self._inbox_lock:
+            pending = len(self._inbox)
+        if pending:
+            return False
+        return all(tenant.done for tenant in self.tenants.values())
+
+    def _close_out(self) -> None:
+        """Terminal states for whatever the loop left behind."""
+        with self._inbox_lock:
+            leftovers = list(self._inbox)
+            self._inbox.clear()
+        for spec in leftovers:
+            tenant = FleetTenant(
+                spec=spec, arrival=self._arrival_counter,
+                status=REJECTED,
+                status_detail="fleet stopped before placement",
+            )
+            self._arrival_counter += 1
+            self.tenants[spec.name] = tenant
+        detail = (self._loop_error
+                  or "tick budget exhausted before completion")
+        for tenant in self.tenants.values():
+            if tenant.done:
+                continue
+            if tenant.status == PENDING:
+                tenant.status = REJECTED
+                tenant.status_detail = (
+                    "still in the fleet backlog when the fleet drained"
+                )
+            else:
+                tenant.status = FAILED
+                tenant.status_detail = detail
+        for shard in self.shards:
+            if shard.alive:
+                shard.close()
+
+    # ------------------------------------------------------------------
+    # Event spine
+    # ------------------------------------------------------------------
+    #: fleet timeline event -> metric counter name.
+    _FLEET_COUNTERS = {
+        "place": "fleet.placements",
+        "migrate": "fleet.migrations",
+        "displace": "fleet.displacements",
+        "failover": "fleet.failovers",
+        "shed": "fleet.shed",
+        "breaker": "breaker.transitions",
+        "reject": "fleet.rejects",
+    }
+
+    def _event(self, tick: int, event: str, **extra: object) -> None:
+        entry: Dict[str, object] = {"tick": tick, "event": event}
+        entry.update(extra)
+        self.timeline.append(entry)
+        # Mirror into the observability spine (all on the fleet loop
+        # thread, so emission order is a function of the seed).
+        track = (f"tenant:{entry['tenant']}" if "tenant" in entry
+                 else f"shard:{entry.get('shard', 'fleet')}")
+        trc = tracer()
+        if trc.enabled:
+            trc.instant(f"fleet.{event}", "fleet", track=track, **entry)
+        rec = recorder()
+        if rec.enabled:
+            rec.record(f"fleet.{event}", **entry)
+        reg = metrics()
+        if reg.enabled:
+            counter = self._FLEET_COUNTERS.get(event)
+            if counter is not None:
+                reg.counter(counter)
+            if event == "shard_state":
+                reg.gauge(
+                    f"fleet.shard_state.{entry['shard']}",
+                    float(SHARD_STATE_CODES[str(entry['to'])]),
+                )
+
+    # ------------------------------------------------------------------
+    # Phase 1: chaos
+    # ------------------------------------------------------------------
+    def _apply_chaos(self, tick: int) -> None:
+        for crash in self.chaos.crashes_at(tick):
+            shard = self.by_name[crash.shard]
+            if not shard.alive:
+                continue
+            shard.close(detail=f"SoC crashed at fleet tick {tick}")
+            self.chaos.record(
+                tick, SOC_CRASH, shard.name,
+                detail=("rejoins at tick "
+                        f"{crash.rejoin_tick}" if crash.rejoin_tick
+                        is not None else "permanent"),
+            )
+        for rejoin in self.chaos.rejoins_at(tick):
+            shard = self.by_name[rejoin.shard]
+            if shard.alive:
+                continue
+            shard.boot()
+            self.chaos.record(tick, SOC_REJOIN, shard.name,
+                              detail=f"generation {shard.generation}")
+            # A degradation window that spans the outage follows the
+            # shard into its new generation.
+            for degrade in self.chaos.schedule.degradations:
+                if (degrade.shard == shard.name
+                        and degrade.start_tick <= tick
+                        and (degrade.end_tick is None
+                             or tick < degrade.end_tick)):
+                    shard.server.inject_drift(DriftSpec(
+                        start_tick=tick, end_tick=degrade.end_tick,
+                        busy=dict(degrade.busy),
+                        demand_gbps=degrade.demand_gbps,
+                    ))
+        for gray in self.chaos.gray_edges_at(tick):
+            kind = GRAY_START if gray.start_tick == tick else GRAY_END
+            self.chaos.record(tick, kind, gray.shard,
+                              detail=f"[{gray.start_tick}, "
+                                     f"{gray.end_tick})")
+        for shard in self.shards:
+            shard.gray = (shard.alive
+                          and self.chaos.gray_active(shard.name, tick))
+        for degrade in self.chaos.degradations_at(tick):
+            shard = self.by_name[degrade.shard]
+            if shard.alive:
+                shard.server.inject_drift(DriftSpec(
+                    start_tick=tick, end_tick=degrade.end_tick,
+                    busy=dict(degrade.busy),
+                    demand_gbps=degrade.demand_gbps,
+                ))
+            self.chaos.record(
+                tick, DEGRADE_START, degrade.shard,
+                detail=f"busy {sorted(degrade.busy)} "
+                       f"+{degrade.demand_gbps:g} GB/s",
+            )
+        for degrade in self.chaos.degrade_ends_at(tick):
+            self.chaos.record(tick, DEGRADE_END, degrade.shard)
+
+    # ------------------------------------------------------------------
+    # Phase 2: placement
+    # ------------------------------------------------------------------
+    def tenants_on(self, shard_name: str) -> List[FleetTenant]:
+        """Live tenants currently placed on a shard, by arrival."""
+        out = [t for t in self.tenants.values()
+               if t.shard == shard_name and t.status == RUNNING]
+        out.sort(key=lambda t: t.arrival)
+        return out
+
+    def choose_shard(
+        self, spec: TenantSpec
+    ) -> Optional[Tuple[SoCShard, object]]:
+        """The placement decision: admit where the cached interference
+        tables predict least impact on incumbents, then least predicted
+        latency, then least load; shard index breaks remaining ties."""
+        best: Optional[Tuple[SoCShard, object]] = None
+        best_key = None
+        for shard in self.shards:
+            if not shard.alive:
+                continue
+            if not self.breakers[shard.name].allows_placement():
+                continue
+            server = shard.server
+            if server.knows_tenant(spec.name):
+                # A shard remembers every tenant it ever hosted within
+                # a generation; a migrating tenant moves elsewhere.
+                continue
+            decision = server.admission.evaluate(
+                spec, server.placement, server.running_records(),
+                queued=0,
+            )
+            if decision.action != ADMIT:
+                continue
+            worst_impact = max(decision.predicted_impact.values(),
+                               default=1.0)
+            key = (worst_impact, decision.predicted_latency_s,
+                   len(server.running_records()), shard.index)
+            if best_key is None or key < best_key:
+                best, best_key = (shard, decision), key
+        return best
+
+    def commit_placement(self, tenant: FleetTenant, shard: SoCShard,
+                         tick: int, kind: str,
+                         detail: str = "") -> None:
+        """Record a successful :meth:`try_admit` in fleet state."""
+        tenant.place(shard.name)
+        tenant.status_detail = detail or f"placed on {shard.name}"
+        self._event(tick, kind, tenant=tenant.name, shard=shard.name,
+                    windows_remaining=tenant.windows_remaining,
+                    **({"detail": detail} if detail else {}))
+
+    def record_failover(self, shard: SoCShard, tick: int, cause: str,
+                        displaced: int) -> None:
+        self._event(tick, "failover", shard=shard.name, cause=cause,
+                    displaced=displaced)
+
+    def record_shed(self, tenant: FleetTenant, tick: int,
+                    cause: str) -> None:
+        self._event(tick, "shed", tenant=tenant.name,
+                    priority=tenant.priority, cause=cause)
+
+    def _place_pending(self, tick: int) -> None:
+        while True:
+            with self._inbox_lock:
+                if not self._inbox:
+                    break
+                spec = self._inbox.popleft()
+            tenant = FleetTenant(spec=spec,
+                                 arrival=self._arrival_counter,
+                                 backlog_since=tick)
+            self._arrival_counter += 1
+            self.tenants[spec.name] = tenant
+            self._backlog.append(spec.name)
+        for name in list(self._backlog):
+            tenant = self.tenants[name]
+            if tenant.status != PENDING:
+                # A same-tick harvest settled the tenant after it was
+                # displaced (a shard can evict a tenant and still
+                # finish its already-simulated window in one tick);
+                # the backlog entry is stale.
+                self._backlog.remove(name)
+                continue
+            if tenant.windows_remaining < 1:
+                tenant.status = COMPLETED
+                tenant.status_detail = (
+                    "every window was served before re-placement"
+                )
+                self._backlog.remove(name)
+                self._event(tick, "complete", tenant=name,
+                            shard=tenant.shard_history[-1])
+                continue
+            choice = self.choose_shard(tenant.pending_spec())
+            if choice is not None:
+                shard, _ = choice
+                decision = shard.server.try_admit(
+                    tenant.pending_spec(), tick
+                )
+                assert decision.action == ADMIT, decision
+                kind = "migrate" if tenant.shard_history else "place"
+                self.commit_placement(tenant, shard, tick, kind)
+                self._backlog.remove(name)
+            elif (tenant.backlog_since is not None
+                  and tick - tenant.backlog_since
+                  >= self.config.backlog_patience):
+                tenant.status = REJECTED
+                tenant.status_detail = (
+                    f"no shard could place the tenant within "
+                    f"{self.config.backlog_patience} ticks of backlog"
+                )
+                self._event(tick, "reject", tenant=name,
+                            reason=tenant.status_detail)
+                self._backlog.remove(name)
+
+    # ------------------------------------------------------------------
+    # Phase 3+4: step and harvest
+    # ------------------------------------------------------------------
+    def _step_shards(self, tick: int) -> None:
+        for shard in self.shards:
+            if shard.alive:
+                shard.step(tick)
+
+    def _harvest(self, tick: int) -> None:
+        for shard in self.shards:
+            for event in shard.new_events():
+                self._absorb(shard, tick, event)
+
+    def _absorb(self, shard: SoCShard, tick: int,
+                event: Dict[str, object]) -> None:
+        kind = str(event["event"])
+        name = str(event["tenant"])
+        tenant = self.tenants.get(name)
+        if tenant is None:
+            raise FleetError(
+                f"shard {shard.name!r} reported unknown tenant {name!r}"
+            )
+        if kind == "window":
+            latency = float(event["latency_s"])  # type: ignore[arg-type]
+            tenant.windows_served += 1
+            tenant.samples.extend(
+                [latency] * tenant.spec.window_tasks
+            )
+            self._shard_windows[shard.name] += 1
+            self.monitor.note_window(shard.name, name, latency)
+        elif kind == "complete":
+            tenant.status = COMPLETED
+            tenant.shard = None
+            tenant.status_detail = (
+                f"completed on {shard.name}: served "
+                f"{tenant.windows_served}/{tenant.spec.windows} windows"
+                f" across {len(tenant.shard_history)} shard(s)"
+            )
+            self.monitor.forget_tenant(shard.name, name)
+            self._event(tick, "complete", tenant=name, shard=shard.name)
+        elif kind == "reschedule":
+            tenant.reschedules += 1
+        elif kind == "evict":
+            # Shard-level contention eviction: the fleet turns a local
+            # eviction into a migration opportunity instead of a loss.
+            if tenant.status == RUNNING and tenant.shard == shard.name:
+                tenant.status = PENDING
+                tenant.shard = None
+                tenant.backlog_since = tick
+                tenant.status_detail = (
+                    f"displaced from {shard.name} by contention eviction"
+                )
+                self.monitor.forget_tenant(shard.name, name)
+                self._backlog.append(name)
+                self._event(tick, "displace", tenant=name,
+                            shard=shard.name,
+                            reason=str(event.get("beneficiary", "")))
+        elif kind == "fail":
+            tenant.status = FAILED
+            tenant.shard = None
+            tenant.status_detail = str(event.get("reason", ""))
+            self.monitor.forget_tenant(shard.name, name)
+            self._event(tick, "fail", tenant=name, shard=shard.name,
+                        reason=tenant.status_detail)
+        # "admit"/"withdraw"/"queue"/"reject"/"hold": fleet state was
+        # already updated by the actor that caused them.
+
+    # ------------------------------------------------------------------
+    # Phase 5: health, breakers, failover
+    # ------------------------------------------------------------------
+    def _assess_health(self, tick: int) -> None:
+        for shard in self.shards:
+            breaker = self.breakers[shard.name]
+            transition = self.monitor.assess(
+                shard.name, beats=shard.heartbeat.beats,
+                crashed=not shard.alive,
+            )
+            if transition is not None:
+                self._event(tick, "shard_state", shard=shard.name,
+                            frm=transition[0], to=transition[1])
+            health = self.monitor.health(shard.name)
+
+            newly_dead = (transition is not None
+                          and transition[1] == DEAD)
+            if newly_dead:
+                trip = breaker.trip(tick)
+                if trip is not None:
+                    self._event(tick, "breaker", shard=shard.name,
+                                frm=trip[0], to=trip[1])
+                cause = (f"shard {shard.name} dead at tick {tick} "
+                         + ("(crashed)" if not shard.alive
+                            else "(heartbeat lost)"))
+                if self.config.failover:
+                    self.coordinator.failover(shard, tick, cause)
+                elif not shard.alive:
+                    self._strand_tenants(shard, tick, cause)
+
+            slo = self.monitor.slo_breached(shard.name)
+            if slo and breaker.state == CLOSED and not newly_dead:
+                trip = breaker.trip(tick)
+                if trip is not None:
+                    self._event(tick, "breaker", shard=shard.name,
+                                frm=trip[0], to=trip[1])
+                if self.config.failover:
+                    cause = (f"sustained SLO breach on {shard.name} "
+                             f"at tick {tick}")
+                    self.coordinator.failover(shard, tick, cause)
+                    self.monitor.reset_slo(shard.name)
+
+            beating = shard.alive and health.beat_seen
+            advance = breaker.advance(tick, beating)
+            if advance is not None:
+                self._event(tick, "breaker", shard=shard.name,
+                            frm=advance[0], to=advance[1])
+                if (advance == (HALF_OPEN, CLOSED)
+                        and self.monitor.state(shard.name)
+                        == RECOVERING):
+                    self.monitor.set_state(shard.name, HEALTHY)
+                    self._event(tick, "shard_state", shard=shard.name,
+                                frm=RECOVERING, to=HEALTHY)
+
+    def _strand_tenants(self, shard: SoCShard, tick: int,
+                        cause: str) -> None:
+        """Failover disabled: a dead shard's tenants are lost."""
+        for tenant in self.tenants_on(shard.name):
+            tenant.status = FAILED
+            tenant.shard = None
+            tenant.status_detail = f"{cause}; failover disabled"
+            self._event(tick, "fail", tenant=tenant.name,
+                        shard=shard.name, reason=tenant.status_detail)

@@ -1,0 +1,193 @@
+"""The seeded fleet soak: one scenario behind CLI, CI, and tests.
+
+Mirrors :mod:`repro.serve.scenario` one level up: a single scenario
+definition drives ``repro fleet``'s demo mode, the CI ``fleet-chaos``
+job, and the acceptance soak test, so the fleet determinism guarantee
+is exercised on exactly what ships.
+
+The default soak packs twelve tenants onto four pixel7a shards and
+throws one of each failure shape at the fleet mid-run:
+
+* ``soc2`` goes **gray** over ticks [8, 16): it keeps serving but stops
+  heartbeating, so the health monitor must declare it dead on beat
+  evidence alone and the coordinator must drain a *live* server;
+* ``soc1`` **crashes** at tick 14 and rejoins at tick 20 as a fresh
+  generation, re-entering service through the half-open breaker;
+* ``soc3`` **degrades** from tick 18 (a 90% brownout of every PU class
+  plus DRAM pressure): the shard's own rescheduler cannot flee - every
+  class is hit - so the fleet's SLO-breach failover is the only way
+  its tenants recover.
+
+With failover enabled every non-shed tenant finishes on a surviving
+shard; with it disabled, soc1's tenants are lost outright and soc3's
+survivors drag their degraded windows into the fleet-wide p95 - the
+gap the acceptance test asserts is strictly positive.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.apps.synthetic import build_synthetic_application
+from repro.errors import FleetError
+from repro.serve.scenario import _memory_bound_application
+from repro.serve.tenant import TenantSpec
+from repro.fleet.chaos import (
+    ChaosSchedule,
+    DegradeSpec,
+    GrayFailureSpec,
+    ShardCrashSpec,
+)
+from repro.fleet.health import HealthConfig
+from repro.fleet.metrics import FleetReport
+from repro.fleet.router import FleetConfig, FleetRouter
+from repro.fleet.shard import ShardSpec
+
+#: PU classes browned out on the degraded shard (all of pixel7a's, so
+#: the shard-local rescheduler has nowhere to flee).
+DEGRADED_CLASSES = ("big", "medium", "little", "gpu")
+
+#: Tenant lifetimes cycle through these window counts.  The short ones
+#: free shard slots before the first failure hits (which is what lets
+#: survivors absorb failover batches); the long ones are still running
+#: when the degradation window opens, so the SLO-breach failover has
+#: victims to rescue.
+WINDOWS_CYCLE = (8, 18, 40)
+
+
+@dataclass(frozen=True)
+class FleetSoakScenario:
+    """Parameters of one deterministic fleet soak run."""
+
+    seed: int = 7
+    n_shards: int = 4
+    n_tenants: int = 12
+    platform_name: str = "pixel7a"
+    #: Shards cycle through these platform seeds; shards sharing a seed
+    #: share one platform object and one plan cache.
+    platform_seeds: Tuple[int, ...] = (7, 11)
+    window_tasks: int = 6
+    stage_count: int = 3
+    gray_shard: str = "soc2"
+    gray_start: int = 8
+    gray_end: int = 16
+    crash_shard: str = "soc1"
+    crash_tick: int = 14
+    rejoin_tick: int = 20
+    degrade_shard: str = "soc3"
+    degrade_start: int = 22
+    degrade_end: int = 60
+    degrade_busy: float = 0.95
+    degrade_demand_gbps: float = 16.0
+    #: Relative SLO: a shard breaches when its mean window-latency
+    #: ratio to first-window baselines exceeds slo_factor for
+    #: slo_breach_ticks consecutive ticks.  1.5x sits above normal
+    #: co-tenant interference swing but well under the brownout's hit.
+    slo_factor: float = 1.5
+    slo_breach_ticks: int = 2
+    max_ticks: int = 96
+
+    def __post_init__(self) -> None:
+        if self.n_shards < 4:
+            raise FleetError(
+                "the fleet soak needs >= 4 shards (three failure "
+                "domains plus at least one untouched survivor)"
+            )
+        if self.n_tenants < 12:
+            raise FleetError(
+                "the fleet soak needs >= 12 tenants for meaningful "
+                "failover batches"
+            )
+        names = set(self.shard_names())
+        for role, shard in (("gray", self.gray_shard),
+                            ("crash", self.crash_shard),
+                            ("degrade", self.degrade_shard)):
+            if shard not in names:
+                raise FleetError(
+                    f"{role} shard {shard!r} is not one of {sorted(names)}"
+                )
+
+    def shard_names(self) -> Tuple[str, ...]:
+        return tuple(f"soc{i}" for i in range(self.n_shards))
+
+    def chaos(self) -> ChaosSchedule:
+        return ChaosSchedule(
+            crashes=[ShardCrashSpec(
+                shard=self.crash_shard,
+                at_tick=self.crash_tick,
+                rejoin_tick=self.rejoin_tick,
+            )],
+            grays=[GrayFailureSpec(
+                shard=self.gray_shard,
+                start_tick=self.gray_start,
+                end_tick=self.gray_end,
+            )],
+            degradations=[DegradeSpec(
+                shard=self.degrade_shard,
+                start_tick=self.degrade_start,
+                end_tick=self.degrade_end,
+                busy={c: self.degrade_busy for c in DEGRADED_CLASSES},
+                demand_gbps=self.degrade_demand_gbps,
+            )],
+        )
+
+
+def build_fleet(scenario: FleetSoakScenario,
+                failover: bool = True) -> FleetRouter:
+    """A fully-loaded fleet, ready to :meth:`~FleetRouter.run`.
+
+    Tenants cycle through three lifetimes (8/18/28 windows - the short
+    ones free slots before the first failure hits, which is what lets
+    the survivors absorb failover batches), three priorities (0 is shed
+    first), and four shared applications (two compute-bound synthetic,
+    two memory-bound streaming; three tenants per application, so the
+    per-platform plan caches get real hit traffic).
+    """
+    router = FleetRouter(
+        [ShardSpec(
+            name=name,
+            platform_name=scenario.platform_name,
+            platform_seed=scenario.platform_seeds[
+                i % len(scenario.platform_seeds)],
+        ) for i, name in enumerate(scenario.shard_names())],
+        seed=scenario.seed,
+        config=FleetConfig(
+            max_ticks=scenario.max_ticks,
+            failover=failover,
+            health=HealthConfig(
+                slo_factor=scenario.slo_factor,
+                slo_breach_ticks=scenario.slo_breach_ticks,
+            ),
+        ),
+        chaos=scenario.chaos(),
+    )
+    for i in range(scenario.n_tenants):
+        app_seed = scenario.seed + (i % 4)
+        if i % 2 == 0:
+            application = build_synthetic_application(
+                seed=app_seed, stage_count=scenario.stage_count,
+            )
+        else:
+            application = _memory_bound_application(
+                app_seed, scenario.stage_count,
+            )
+        router.submit(TenantSpec(
+            name=f"tenant-{i:02d}",
+            application=application,
+            priority=i % 3,
+            windows=WINDOWS_CYCLE[i % 3],
+            window_tasks=scenario.window_tasks,
+        ))
+    return router
+
+
+def run_fleet_soak(
+    scenario: FleetSoakScenario,
+    failover: bool = True,
+    timeout_s: float = 600.0,
+) -> Tuple[FleetRouter, FleetReport]:
+    """Build, run, and drain one fleet soak; returns (router, report)."""
+    router = build_fleet(scenario, failover=failover)
+    report = router.run(timeout_s=timeout_s)
+    return router, report

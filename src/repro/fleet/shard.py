@@ -1,0 +1,121 @@
+"""One SoC shard: a platform, a heartbeat, and server generations.
+
+A shard is the fleet's failure domain.  Its :class:`PipelineServer` is
+driven in *step mode* by the fleet loop (one thread drives every shard,
+which is what keeps cross-shard event order deterministic), and is
+replaced wholesale on crash/rejoin: generation ``n+1`` starts with an
+empty placement and tenant registry, sharing only the platform and the
+fleet-owned plan cache with its predecessor.  The heartbeat object
+outlives generations - health is a property of the shard, not of one
+server incarnation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.core.plan_cache import PlanCache
+from repro.errors import FleetError
+from repro.runtime.watchdog import Heartbeat
+from repro.serve.metrics import ServeReport
+from repro.serve.server import PipelineServer, ServerConfig
+from repro.soc.platform import Platform
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Declares one shard of the fleet."""
+
+    name: str
+    platform_name: str = "pixel7a"
+    platform_seed: int = 7
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise FleetError("a shard needs a non-empty name")
+
+
+class SoCShard:
+    """Runtime state of one shard across server generations."""
+
+    def __init__(
+        self,
+        index: int,
+        spec: ShardSpec,
+        platform: Platform,
+        plan_cache: PlanCache,
+        server_config: ServerConfig,
+        fleet_seed: int = 0,
+    ):
+        self.index = index
+        self.spec = spec
+        self.name = spec.name
+        self.platform = platform
+        self.plan_cache = plan_cache
+        self.server_config = server_config
+        self.fleet_seed = fleet_seed
+        self.heartbeat = Heartbeat(index, f"shard:{spec.name}")
+        self.generation = 0
+        self.gray = False
+        self.server: Optional[PipelineServer] = None
+        #: Reports of closed generations, in close order.
+        self.closed_reports: List[ServeReport] = []
+        self._cursor = 0
+
+    @property
+    def alive(self) -> bool:
+        return self.server is not None
+
+    def boot(self) -> None:
+        """Start a new server generation in step mode."""
+        if self.server is not None:
+            raise FleetError(
+                f"shard {self.name!r} already has a live generation"
+            )
+        self.generation += 1
+        # One seed per (fleet, shard, generation) coordinate, so a
+        # rejoined shard does not replay its predecessor's stream.
+        seed = (self.fleet_seed * 10_000 + self.index * 100
+                + self.generation)
+        self.server = PipelineServer(
+            self.platform, seed=seed, config=self.server_config,
+            plan_cache=self.plan_cache,
+        )
+        self.server.open_stepped()
+        self._cursor = 0
+
+    def close(self, detail: Optional[str] = None) -> ServeReport:
+        """Close the live generation (crash or fleet drain)."""
+        if self.server is None:
+            raise FleetError(f"shard {self.name!r} is not live")
+        report = self.server.close_stepped(detail)
+        self.closed_reports.append(report)
+        self.server = None
+        self.gray = False
+        return report
+
+    def step(self, tick: int) -> None:
+        """Advance the live generation one tick, beating the shard
+        heartbeat unless the shard is in a gray-failure window."""
+        if self.server is None:
+            raise FleetError(f"cannot step dead shard {self.name!r}")
+        if not self.gray:
+            self.heartbeat.start_task(tick)
+        self.server.step(tick)
+        if not self.gray:
+            self.heartbeat.idle()
+
+    def new_events(self) -> List[Dict[str, object]]:
+        """Timeline entries appended since the last harvest."""
+        if self.server is None:
+            return []
+        events = self.server.timeline[self._cursor:]
+        self._cursor = len(self.server.timeline)
+        return events
+
+    def report(self) -> Optional[ServeReport]:
+        """The live generation's report so far (None when dead)."""
+        if self.server is None:
+            return None
+        return self.server.report()

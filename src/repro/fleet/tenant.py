@@ -1,0 +1,111 @@
+"""Fleet-level tenant state: identity that survives shard failures.
+
+A shard's :class:`~repro.serve.tenant.TenantRecord` dies with its
+server generation; the :class:`FleetTenant` is the durable identity the
+router tracks across placements, migrations, failovers, and shedding.
+Window progress accumulates here (a tenant that served 6 of 16 windows
+before its shard crashed is re-placed with 10 remaining), and so do the
+per-item latency samples the fleet report's percentiles are computed
+over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.errors import FleetError
+from repro.serve.tenant import (
+    COMPLETED,
+    FAILED,
+    PENDING,
+    REJECTED,
+    RUNNING,
+    TenantSpec,
+)
+
+#: Fleet-only terminal state: dropped by priority-ordered shedding when
+#: the surviving shards could not absorb a failover batch.
+SHED = "shed"
+
+FLEET_TERMINAL_STATES = (COMPLETED, REJECTED, FAILED, SHED)
+
+
+@dataclass
+class FleetTenant:
+    """Registry entry: the fleet-side state of one tenant."""
+
+    spec: TenantSpec
+    arrival: int
+    status: str = PENDING
+    status_detail: str = ""
+    #: Current shard (None while pending/backlogged or terminal).
+    shard: Optional[str] = None
+    #: Every shard this tenant ran on, in placement order.
+    shard_history: List[str] = field(default_factory=list)
+    windows_served: int = 0
+    migrations: int = 0
+    reschedules: int = 0
+    #: Per-item latency samples across all segments and shards.
+    samples: List[float] = field(default_factory=list)
+    #: Index into ``samples`` where each placement segment starts; the
+    #: segment's first window is its slowdown baseline (same convention
+    #: as the health monitor's relative SLO).
+    segment_starts: List[int] = field(default_factory=list)
+    #: Tick the tenant entered the fleet backlog (for patience).
+    backlog_since: Optional[int] = None
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def priority(self) -> int:
+        return self.spec.priority
+
+    @property
+    def done(self) -> bool:
+        return self.status in FLEET_TERMINAL_STATES
+
+    @property
+    def windows_remaining(self) -> int:
+        return self.spec.windows - self.windows_served
+
+    def pending_spec(self) -> TenantSpec:
+        """The spec to (re)admit with: only the unserved windows."""
+        if self.windows_served == 0:
+            return self.spec
+        remaining = self.windows_remaining
+        if remaining < 1:
+            raise FleetError(
+                f"tenant {self.name!r} has no windows remaining"
+            )
+        return replace(self.spec, windows=remaining)
+
+    def place(self, shard: str) -> None:
+        if self.shard_history:
+            self.migrations += 1
+        self.shard = shard
+        self.shard_history.append(shard)
+        self.segment_starts.append(len(self.samples))
+        self.status = RUNNING
+        self.backlog_since = None
+
+    def slowdowns(self) -> List[float]:
+        """Each sample's ratio to its placement segment's first-window
+        baseline.
+
+        Normalizing per segment factors out *where* the tenant runs
+        (app heterogeneity, the PU class a placement handed it) and
+        keeps what the fleet is accountable for: how much worse than
+        its own baseline each placement let the tenant get.
+        """
+        out: List[float] = []
+        bounds = list(self.segment_starts) + [len(self.samples)]
+        for start, end in zip(bounds, bounds[1:]):
+            if end <= start:
+                continue
+            baseline = self.samples[start]
+            for sample in self.samples[start:end]:
+                out.append(sample / baseline if baseline > 0.0 else 1.0)
+        return out

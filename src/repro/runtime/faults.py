@@ -53,6 +53,14 @@ FALLBACK = "fallback"
 # Recorded by the watchdog (repro.runtime.watchdog), not the injector.
 STALL = "stall"
 DEADLINE_OVERRUN = "deadline-overrun"
+# Fleet-level fault kinds (repro.fleet.chaos extends this registry):
+# whole-SoC failure domains rather than per-dispatch faults.
+SOC_CRASH = "soc-crash"
+SOC_REJOIN = "soc-rejoin"
+GRAY_START = "gray-start"
+GRAY_END = "gray-end"
+DEGRADE_START = "degrade-start"
+DEGRADE_END = "degrade-end"
 
 #: TaskObject constant under which a quarantined task carries its failure.
 _QUARANTINE_KEY = "fault_quarantine"
@@ -228,12 +236,20 @@ class RetryPolicy:
         base_backoff_s: Sleep before the first retry.
         multiplier: Backoff growth factor per further retry.
         max_backoff_s: Backoff ceiling.
+        jitter: Symmetric jitter fraction in [0, 1).  A backoff ``b``
+            becomes ``b * (1 + jitter * (2u - 1))`` for a uniform draw
+            ``u`` in [0, 1) supplied by the caller - dispatchers that
+            all failed on the same recovering PU otherwise wake in
+            lockstep and stampede it.  Without a draw (``u=None``) the
+            backoff stays deterministic-undithered, which keeps policy
+            objects usable outside an injector.
     """
 
     max_attempts: int = 3
     base_backoff_s: float = 0.001
     multiplier: float = 2.0
     max_backoff_s: float = 0.1
+    jitter: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -242,18 +258,30 @@ class RetryPolicy:
             raise PipelineError("backoff times must be >= 0")
         if self.multiplier < 1.0:
             raise PipelineError("backoff multiplier must be >= 1")
+        if not 0.0 <= self.jitter < 1.0:
+            raise PipelineError("jitter must be in [0, 1)")
 
-    def backoff_s(self, failures: int) -> Optional[float]:
+    def backoff_s(self, failures: int,
+                  u: Optional[float] = None) -> Optional[float]:
         """Sleep before retrying after ``failures`` failed attempts.
 
-        Returns ``None`` once the attempt budget is exhausted.
+        ``u`` is a uniform [0, 1) draw that dithers the backoff by the
+        policy's ``jitter`` fraction; take it from
+        :meth:`FaultInjector.backoff_draw` so seeded runs stay
+        deterministic.  Returns ``None`` once the attempt budget is
+        exhausted.
         """
         if failures >= self.max_attempts:
             return None
-        return min(
+        backoff = min(
             self.base_backoff_s * self.multiplier ** (failures - 1),
             self.max_backoff_s,
         )
+        if u is not None and self.jitter > 0.0:
+            if not 0.0 <= u < 1.0:
+                raise PipelineError("jitter draw u must be in [0, 1)")
+            backoff *= 1.0 + self.jitter * (2.0 * u - 1.0)
+        return backoff
 
 
 # ----------------------------------------------------------------------
@@ -379,11 +407,23 @@ class FaultInjector:
           cost and raises :class:`PuFailureError` on dropout.
     """
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, seed: int = 0):
         self.plan = plan
+        self.seed = seed
         self._lock = checked_lock("fault-log.lock")
         self._events: List[FaultEvent] = []
         self._dead_pus: Dict[str, int] = {}
+        self._rng = np.random.default_rng(seed)
+
+    def backoff_draw(self) -> float:
+        """One uniform [0, 1) draw for retry-backoff jitter.
+
+        Drawn from the injector's own seeded stream (under the event
+        lock, since every dispatcher thread calls in), so the jittered
+        retry timeline is as reproducible as the fault plan itself.
+        """
+        with self._lock:
+            return float(self._rng.random())
 
     # -- logging -------------------------------------------------------
     def record(self, kind: str, pu_class: str, stage_index: int,

@@ -97,6 +97,7 @@ class Heartbeat:
         self._busy_since: Optional[float] = None
         self._task_id = -1
         self._stage_index = -1
+        self._beats = 0
 
     # -- dispatcher side ----------------------------------------------
     def start_task(self, task_id: int) -> None:
@@ -108,6 +109,20 @@ class Heartbeat:
             self._busy_since = time.monotonic()
             self._task_id = task_id
             self._stage_index = -1
+            self._beats += 1
+
+    @property
+    def beats(self) -> int:
+        """Monotonic count of :meth:`start_task` beats.
+
+        The wall-clock fields above serve the stall scanner; this
+        logical counter serves tick-driven health checks (the fleet's
+        :class:`~repro.fleet.health.HealthMonitor` compares beat counts
+        across fleet ticks, so a shard whose loop stops beating - a
+        gray failure - is detected without any wall-clock dependence).
+        """
+        with self._lock:
+            return self._beats
 
     def start_stage(self, stage_index: int) -> None:
         """About to dispatch one stage of the current task."""

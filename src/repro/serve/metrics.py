@@ -75,15 +75,24 @@ class TenantMetrics:
         )
 
     def to_dict(self) -> Dict[str, object]:
+        # A tenant with zero completed windows has no latency
+        # distribution; rendering 0.0 would read as "infinitely fast"
+        # in the report, so the serialized form says "n/a" instead
+        # (the dataclass fields stay numeric for arithmetic consumers).
+        def _latency(value: float) -> object:
+            if self.windows_served == 0:
+                return "n/a"
+            return round(value, 9)
+
         return {
             "tenant": self.tenant,
             "status": self.status,
             "windows_served": self.windows_served,
             "reschedules": self.reschedules,
-            "mean_latency_s": round(self.mean_latency_s, 9),
-            "p50_latency_s": round(self.p50_latency_s, 9),
-            "p95_latency_s": round(self.p95_latency_s, 9),
-            "max_latency_s": round(self.max_latency_s, 9),
+            "mean_latency_s": _latency(self.mean_latency_s),
+            "p50_latency_s": _latency(self.p50_latency_s),
+            "p95_latency_s": _latency(self.p95_latency_s),
+            "max_latency_s": _latency(self.max_latency_s),
         }
 
 

@@ -129,15 +129,23 @@ class PipelineServer:
         platform: Platform,
         seed: int = 0,
         config: Optional[ServerConfig] = None,
+        plan_cache: Optional[PlanCache] = None,
     ):
         self.platform = platform
         self.seed = seed
         self.config = config or ServerConfig()
-        self.plan_cache = PlanCache(
-            platform,
-            repetitions=self.config.profiling_repetitions,
-            k=self.config.candidates_k,
-        )
+        if plan_cache is None:
+            plan_cache = PlanCache(
+                platform,
+                repetitions=self.config.profiling_repetitions,
+                k=self.config.candidates_k,
+            )
+        elif plan_cache.platform is not platform:
+            raise ServeError(
+                "injected plan_cache was built for platform "
+                f"{plan_cache.platform.name!r}, not {platform.name!r}"
+            )
+        self.plan_cache = plan_cache
         self.placement = PlacementMap(platform.schedulable_classes())
         self.admission = AdmissionController(
             platform,
@@ -176,6 +184,7 @@ class PipelineServer:
         self._done = threading.Event()
         self._stop_requested = threading.Event()
         self._started = False
+        self._stepping = False
         self._loop_error: Optional[str] = None
 
     # ------------------------------------------------------------------
@@ -202,8 +211,14 @@ class PipelineServer:
             self._inbox.append(spec)
 
     def inject_drift(self, drift: DriftSpec) -> None:
-        """Register outside interference (before :meth:`start`)."""
-        if self._started:
+        """Register outside interference.
+
+        In loop mode this must happen before :meth:`start` so runs stay
+        reproducible.  In step mode (:meth:`open_stepped`) the caller
+        owns the clock, so drifts may land mid-run - the fleet chaos
+        injector uses this to degrade a live shard deterministically.
+        """
+        if self._started and not self._stepping:
             raise ServeError(
                 "inject_drift() must be called before start() so runs "
                 "stay reproducible"
@@ -252,6 +267,118 @@ class PipelineServer:
         """Convenience: :meth:`start` + :meth:`drain`."""
         self.start()
         return self.drain(timeout_s)
+
+    # ------------------------------------------------------------------
+    # Step mode (fleet surface): the caller owns the clock
+    # ------------------------------------------------------------------
+    # A fleet drives many shards in lockstep from ONE supervised loop
+    # thread; per-shard loop threads would make cross-shard event order
+    # scheduler-dependent and break byte-determinism.  In step mode the
+    # server never spawns its thread: the caller calls step(tick) once
+    # per fleet tick (always from the same thread) and close_stepped()
+    # to settle terminal states and collect the report.
+
+    def open_stepped(self) -> None:
+        """Enter step mode instead of booting the loop thread."""
+        if self._started:
+            raise ServeError("server already started")
+        self._started = True
+        self._stepping = True
+
+    def step(self, tick: int) -> bool:
+        """Run one tick under the caller's clock; True when drained."""
+        if not self._stepping:
+            raise ServeError("step() requires open_stepped()")
+        self._tick(tick)
+        self.ticks_executed += 1
+        return self._drained()
+
+    def close_stepped(self, detail: Optional[str] = None) -> ServeReport:
+        """Leave step mode: settle terminal states, return the report.
+
+        ``detail`` (e.g. ``"shard crashed at tick 8"``) becomes the
+        status detail of any tenant still live at close.
+        """
+        if not self._stepping:
+            raise ServeError("close_stepped() requires open_stepped()")
+        if detail is not None:
+            self._loop_error = detail
+        self._stepping = False
+        self._close_out()
+        self._done.set()
+        return self.report()
+
+    def try_admit(self, spec: TenantSpec, tick: int):
+        """Synchronous admission (step mode only).
+
+        Evaluates ``spec`` against the current placement and running
+        set; on ADMIT the tenant is deployed immediately and serves its
+        first window on the next :meth:`step`.  QUEUE/REJECT decisions
+        leave no record behind - the fleet router owns the backlog, not
+        the shard.  Returns the :class:`AdmissionDecision` either way.
+        """
+        if not self._stepping:
+            raise ServeError("try_admit() requires open_stepped()")
+        if spec.name in self._names:
+            raise ServeError(
+                f"tenant name {spec.name!r} already known to this shard"
+            )
+        decision = self.admission.evaluate(
+            spec, self.placement, self._running(), queued=0,
+        )
+        if decision.action == ADMIT:
+            self._names.add(spec.name)
+            record = TenantRecord(spec=spec)
+            self.records[spec.name] = record
+            self._deploy(tick, record, decision)
+        return decision
+
+    def withdraw(self, name: str, reason: str, tick: int) -> TenantRecord:
+        """Remove a live tenant (step mode only): release its placement
+        and mark it EVICTED with ``reason``.  The fleet failover drain -
+        the tenant's remaining windows continue on another shard."""
+        if not self._stepping:
+            raise ServeError("withdraw() requires open_stepped()")
+        record = self.records.get(name)
+        if record is None or record.done:
+            raise ServeError(
+                f"cannot withdraw {name!r}: not a live tenant"
+            )
+        if name in self._queue:
+            self._queue.remove(name)
+        if name in self.placement.partitions:
+            self.placement.release(name)
+        record.status = EVICTED
+        record.status_detail = reason
+        self._event(tick, "withdraw", name, reason=reason)
+        return record
+
+    def rescind(self, name: str) -> None:
+        """Un-admit a tenant placed via :meth:`try_admit` this tick (the
+        fleet rollback primitive): the placement is released and the
+        record erased as if the admission never happened."""
+        if not self._stepping:
+            raise ServeError("rescind() requires open_stepped()")
+        record = self.records.pop(name, None)
+        if record is None:
+            raise ServeError(f"cannot rescind {name!r}: unknown tenant")
+        if name in self.placement.partitions:
+            self.placement.release(name)
+        self._names.discard(name)
+        self._patience.pop(name, None)
+
+    def running_records(self) -> Dict[str, TenantRecord]:
+        """Live RUNNING tenants in admission order (read-only view)."""
+        return self._running()
+
+    def knows_tenant(self, name: str) -> bool:
+        """Whether this server generation has ever seen ``name``.
+
+        Names are never recycled within a generation, so a fleet router
+        must not re-place a tenant onto a shard that already knows it
+        (a rejoined shard is a fresh generation and qualifies again).
+        """
+        return name in self._names
 
     def report(self) -> ServeReport:
         """The (deterministic) serving report for the run so far."""
@@ -335,6 +462,7 @@ class PipelineServer:
         "reject": "admission.rejects",
         "reschedule": "serve.reschedules",
         "evict": "serve.evictions",
+        "withdraw": "serve.withdrawals",
     }
 
     def _event(self, tick: int, event: str, tenant: str,

@@ -1,0 +1,126 @@
+"""Chaos schedule validation, injector queries, seeded generation."""
+
+import pytest
+
+from repro.errors import FleetError, ReproError
+from repro.fleet import (
+    ChaosInjector,
+    ChaosSchedule,
+    DegradeSpec,
+    GrayFailureSpec,
+    ShardCrashSpec,
+)
+
+
+class TestSpecValidation:
+    def test_crash_rejoin_must_follow_crash(self):
+        with pytest.raises(FleetError, match="rejoin_tick"):
+            ShardCrashSpec("soc0", at_tick=10, rejoin_tick=10)
+
+    def test_crash_tick_must_be_nonnegative(self):
+        with pytest.raises(FleetError, match="at_tick"):
+            ShardCrashSpec("soc0", at_tick=-1)
+
+    def test_gray_window_must_be_nonempty(self):
+        with pytest.raises(FleetError, match="end_tick"):
+            GrayFailureSpec("soc0", start_tick=5, end_tick=5)
+
+    def test_degrade_busy_fraction_bounds(self):
+        with pytest.raises(FleetError, match="busy fraction"):
+            DegradeSpec("soc0", start_tick=0, busy={"big": 1.5})
+        with pytest.raises(FleetError, match="busy fraction"):
+            DegradeSpec("soc0", start_tick=0, busy={"big": 0.0})
+
+    def test_duplicate_crash_specs_rejected(self):
+        with pytest.raises(FleetError, match="multiple crash"):
+            ChaosSchedule(crashes=[
+                ShardCrashSpec("soc0", at_tick=4),
+                ShardCrashSpec("soc0", at_tick=9),
+            ])
+
+    def test_fleet_errors_are_repro_errors(self):
+        with pytest.raises(ReproError):
+            GrayFailureSpec("soc0", start_tick=-1, end_tick=3)
+
+
+class TestScheduleQueries:
+    @pytest.fixture
+    def injector(self):
+        schedule = ChaosSchedule(
+            crashes=[ShardCrashSpec("a", at_tick=4, rejoin_tick=9)],
+            grays=[GrayFailureSpec("b", start_tick=2, end_tick=6)],
+            degradations=[DegradeSpec("c", start_tick=3, end_tick=7,
+                                      busy={"big": 0.5})],
+        )
+        return ChaosInjector(schedule, seed=1)
+
+    def test_crash_and_rejoin_lookup(self, injector):
+        assert [c.shard for c in injector.crashes_at(4)] == ["a"]
+        assert injector.crashes_at(5) == []
+        assert [c.shard for c in injector.rejoins_at(9)] == ["a"]
+
+    def test_gray_half_open_interval(self, injector):
+        assert not injector.gray_active("b", 1)
+        assert injector.gray_active("b", 2)
+        assert injector.gray_active("b", 5)
+        assert not injector.gray_active("b", 6)
+        assert not injector.gray_active("a", 3)
+
+    def test_gray_edges(self, injector):
+        assert [g.shard for g in injector.gray_edges_at(2)] == ["b"]
+        assert [g.shard for g in injector.gray_edges_at(6)] == ["b"]
+        assert injector.gray_edges_at(4) == []
+
+    def test_degradation_lookup(self, injector):
+        assert [d.shard for d in injector.degradations_at(3)] == ["c"]
+        assert [d.shard for d in injector.degrade_ends_at(7)] == ["c"]
+
+    def test_record_appends_events(self, injector):
+        injector.record(4, "soc-crash", "a", detail="test")
+        assert injector.events == [{
+            "tick": 4, "kind": "soc-crash", "shard": "a",
+            "detail": "test",
+        }]
+
+
+class TestRandomSchedule:
+    SHARDS = ("soc0", "soc1", "soc2", "soc3")
+
+    def test_same_seed_same_schedule(self):
+        a = ChaosSchedule.random(3, self.SHARDS, ticks=32,
+                                 crash_rate=0.5, gray_rate=0.5,
+                                 degrade_rate=0.5)
+        b = ChaosSchedule.random(3, self.SHARDS, ticks=32,
+                                 crash_rate=0.5, gray_rate=0.5,
+                                 degrade_rate=0.5)
+        assert a.crashes == b.crashes
+        assert a.grays == b.grays
+        assert a.degradations == b.degradations
+
+    def test_zero_rates_yield_empty_schedule(self):
+        schedule = ChaosSchedule.random(3, self.SHARDS, ticks=32)
+        assert not schedule
+        assert schedule.n_events == 0
+
+    def test_unit_rates_hit_every_shard(self):
+        schedule = ChaosSchedule.random(
+            3, self.SHARDS, ticks=32,
+            crash_rate=1.0, gray_rate=1.0, degrade_rate=1.0,
+        )
+        assert {c.shard for c in schedule.crashes} == set(self.SHARDS)
+        assert {g.shard for g in schedule.grays} == set(self.SHARDS)
+        assert ({d.shard for d in schedule.degradations}
+                == set(self.SHARDS))
+        # Every generated spec passed its own validation; crashes all
+        # rejoin within the horizon's reach.
+        for crash in schedule.crashes:
+            assert crash.rejoin_tick is not None
+            assert crash.rejoin_tick > crash.at_tick
+
+    def test_rate_bounds_validated(self):
+        with pytest.raises(FleetError, match="crash_rate"):
+            ChaosSchedule.random(3, self.SHARDS, 32, crash_rate=1.5)
+
+    def test_short_horizon_rejected(self):
+        with pytest.raises(FleetError, match="horizon"):
+            ChaosSchedule.random(3, self.SHARDS, ticks=4)

@@ -1,0 +1,146 @@
+"""FleetRouter construction, submission, and small end-to-end runs."""
+
+import pytest
+
+from repro.apps.synthetic import build_synthetic_application
+from repro.errors import FleetError
+from repro.fleet import (
+    ChaosSchedule,
+    FleetConfig,
+    FleetRouter,
+    ShardCrashSpec,
+    ShardSpec,
+)
+from repro.serve.tenant import TenantSpec
+
+TIMEOUT_S = 120.0
+
+
+def _spec(name, seed=11, **kwargs):
+    app = build_synthetic_application(seed=seed, stage_count=2)
+    kwargs.setdefault("windows", 2)
+    kwargs.setdefault("window_tasks", 4)
+    return TenantSpec(name=name, application=app, **kwargs)
+
+
+def _two_shards():
+    return [ShardSpec("s0", platform_seed=7),
+            ShardSpec("s1", platform_seed=7)]
+
+
+class TestConstruction:
+    def test_empty_fleet_rejected(self):
+        with pytest.raises(FleetError, match="at least one shard"):
+            FleetRouter([])
+
+    def test_duplicate_shard_names_rejected(self):
+        with pytest.raises(FleetError, match="duplicate shard names"):
+            FleetRouter([ShardSpec("s0"), ShardSpec("s0")])
+
+    def test_chaos_must_name_known_shards(self):
+        chaos = ChaosSchedule(crashes=[ShardCrashSpec("ghost",
+                                                      at_tick=4)])
+        with pytest.raises(FleetError, match="unknown shard 'ghost'"):
+            FleetRouter([ShardSpec("s0")], chaos=chaos)
+
+    def test_identical_shards_share_platform_and_cache(self):
+        router = FleetRouter(_two_shards()
+                             + [ShardSpec("s2", platform_seed=11)])
+        s0, s1, s2 = router.shards
+        assert s0.platform is s1.platform
+        assert s0.plan_cache is s1.plan_cache
+        assert s2.platform is not s0.platform
+        assert s2.plan_cache is not s0.plan_cache
+
+    def test_each_shard_gets_its_own_breaker(self):
+        router = FleetRouter(_two_shards())
+        assert set(router.breakers) == {"s0", "s1"}
+        assert (router.breakers["s0"]
+                is not router.breakers["s1"])
+
+
+class TestSubmission:
+    def test_duplicate_tenant_name_rejected(self):
+        router = FleetRouter(_two_shards())
+        router.submit(_spec("t"))
+        with pytest.raises(FleetError, match="already submitted"):
+            router.submit(_spec("t"))
+
+    def test_drain_without_start_rejected(self):
+        router = FleetRouter(_two_shards())
+        with pytest.raises(FleetError, match="never started"):
+            router.drain(timeout_s=1.0)
+
+    def test_double_start_rejected(self):
+        router = FleetRouter([ShardSpec("s0")],
+                             config=FleetConfig(max_ticks=2))
+        router.start()
+        try:
+            with pytest.raises(FleetError, match="already started"):
+                router.start()
+        finally:
+            router.drain(timeout_s=TIMEOUT_S)
+
+    def test_submit_after_drain_rejected(self):
+        router = FleetRouter([ShardSpec("s0")],
+                             config=FleetConfig(max_ticks=2))
+        router.run(timeout_s=TIMEOUT_S)
+        with pytest.raises(FleetError, match="has drained"):
+            router.submit(_spec("late"))
+
+
+class TestSmallFleetRun:
+    def test_empty_fleet_drains_immediately(self):
+        router = FleetRouter(_two_shards())
+        report = router.run(timeout_s=TIMEOUT_S)
+        assert report.ticks == 1
+        assert report.tenants == {}
+        assert all(s["state"] == "healthy"
+                   for s in report.shards.values())
+
+    def test_quiet_run_completes_every_tenant(self):
+        router = FleetRouter(_two_shards(),
+                             config=FleetConfig(max_ticks=32))
+        for i in range(3):
+            router.submit(_spec(f"t{i}", seed=11 + i))
+        report = router.run(timeout_s=TIMEOUT_S)
+        assert all(m.status == "completed"
+                   for m in report.tenants.values())
+        assert report.counts["place"] == 3
+        assert report.counts["complete"] == 3
+        assert "failover" not in report.counts
+        # Latency samples flowed up: windows * window_tasks items each.
+        for metric in report.tenants.values():
+            assert metric.windows_served == 2
+            assert metric.p95_latency_s > 0.0
+
+    def test_tick_budget_exhaustion_fails_running_tenants(self):
+        router = FleetRouter([ShardSpec("s0")],
+                             config=FleetConfig(max_ticks=2))
+        router.submit(_spec("t", windows=50))
+        report = router.run(timeout_s=TIMEOUT_S)
+        assert report.tenants["t"].status == "failed"
+        tenant = router.tenants["t"]
+        assert "tick budget exhausted" in tenant.status_detail
+
+
+class TestBacklogPatience:
+    def test_unplaceable_tenant_rejected_after_patience(self):
+        # Both tenants insist on the single GPU of the only shard; the
+        # second waits in the fleet backlog until patience expires.
+        router = FleetRouter(
+            [ShardSpec("s0")],
+            config=FleetConfig(max_ticks=48, backlog_patience=2),
+        )
+        router.submit(_spec("holder", windows=12,
+                            required_classes={"gpu"}))
+        router.submit(_spec("waiter", windows=2,
+                            required_classes={"gpu"}))
+        report = router.run(timeout_s=TIMEOUT_S)
+        assert report.tenants["holder"].status == "completed"
+        assert report.tenants["waiter"].status == "rejected"
+        assert "backlog" in router.tenants["waiter"].status_detail
+        rejects = [e for e in report.timeline
+                   if e["event"] == "reject"]
+        assert [e["tenant"] for e in rejects] == ["waiter"]
+        assert report.counts["reject"] == 1

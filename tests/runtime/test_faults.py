@@ -115,6 +115,49 @@ class TestRetryPolicy:
             RetryPolicy(multiplier=0.5)
         with pytest.raises(PipelineError):
             RetryPolicy(base_backoff_s=-1.0)
+        with pytest.raises(PipelineError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(PipelineError):
+            RetryPolicy(jitter=1.0)
+
+    def test_jitter_is_opt_in(self):
+        # Without a draw the backoff is the undithered exponential -
+        # the exact values the test above asserts stay valid even for
+        # a jittered policy.
+        policy = RetryPolicy(max_attempts=3, base_backoff_s=0.01,
+                             jitter=0.5)
+        assert policy.backoff_s(1) == pytest.approx(0.01)
+        assert policy.backoff_s(1, u=None) == pytest.approx(0.01)
+
+    def test_jitter_dithers_symmetrically(self):
+        policy = RetryPolicy(max_attempts=3, base_backoff_s=0.01,
+                             jitter=0.5)
+        # b * (1 + jitter * (2u - 1)): u=0 is the low edge, u=0.5 the
+        # undithered center, u->1 approaches the high edge.
+        assert policy.backoff_s(1, u=0.0) == pytest.approx(0.005)
+        assert policy.backoff_s(1, u=0.5) == pytest.approx(0.01)
+        assert policy.backoff_s(1, u=0.75) == pytest.approx(0.0125)
+
+    def test_jitter_draw_bounds_validated(self):
+        policy = RetryPolicy(jitter=0.5)
+        with pytest.raises(PipelineError):
+            policy.backoff_s(1, u=1.0)
+        with pytest.raises(PipelineError):
+            policy.backoff_s(1, u=-0.01)
+
+    def test_zero_jitter_ignores_the_draw(self):
+        policy = RetryPolicy(base_backoff_s=0.01)
+        assert policy.backoff_s(1, u=0.0) == pytest.approx(0.01)
+
+    def test_backoff_draws_are_seeded(self):
+        a = FaultInjector(FaultPlan(), seed=9)
+        b = FaultInjector(FaultPlan(), seed=9)
+        other = FaultInjector(FaultPlan(), seed=10)
+        draws_a = [a.backoff_draw() for _ in range(8)]
+        draws_b = [b.backoff_draw() for _ in range(8)]
+        assert draws_a == draws_b
+        assert all(0.0 <= u < 1.0 for u in draws_a)
+        assert draws_a != [other.backoff_draw() for _ in range(8)]
 
 
 class TestQuarantineHelpers:

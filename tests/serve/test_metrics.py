@@ -3,9 +3,10 @@
 import numpy as np
 import pytest
 
-from repro.errors import ServeError
+from repro.errors import ReproError, ServeError
 from repro.serve import (
     COMPLETED,
+    REJECTED,
     RUNNING,
     ServeReport,
     TenantMetrics,
@@ -107,6 +108,30 @@ class TestTenantMetrics:
         record = record_with_history(app, latencies=[1 / 3])
         payload = TenantMetrics.from_record(record).to_dict()
         assert payload["p95_latency_s"] == round(1 / 3, 9)
+
+    def test_to_dict_renders_na_for_zero_window_tenants(self, app):
+        # A rejected (or still-pending) tenant served nothing: the
+        # report must say "n/a", not 0.0 ("infinitely fast").
+        record = record_with_history(app, status=REJECTED)
+        payload = TenantMetrics.from_record(record).to_dict()
+        assert payload["windows_served"] == 0
+        for key in ("mean_latency_s", "p50_latency_s",
+                    "p95_latency_s", "max_latency_s"):
+            assert payload[key] == "n/a"
+
+    def test_served_tenant_renders_numbers(self, app):
+        record = record_with_history(app, latencies=[0.020])
+        payload = TenantMetrics.from_record(record).to_dict()
+        assert all(
+            isinstance(payload[key], float)
+            for key in ("mean_latency_s", "p50_latency_s",
+                        "p95_latency_s", "max_latency_s")
+        )
+
+    def test_percentile_error_is_a_structured_repro_error(self):
+        # Callers that guard whole report builds catch the base class.
+        with pytest.raises(ReproError):
+            percentile([], 95.0)
 
 
 class TestReportShape:

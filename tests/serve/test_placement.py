@@ -62,6 +62,30 @@ class TestReassign:
         # The failed move must not have dropped a's original grant.
         assert pmap.partition_of("a") == frozenset({"big"})
 
+    def test_mid_mutation_rollback_leaves_three_tenants_intact(
+        self, pmap, plan, app, platform
+    ):
+        # Three incumbents; the failing reassign is the *middle* of a
+        # mutation (c's grant released, new grant refused), so rollback
+        # must restore c exactly while never touching a or b.
+        pmap.assign("a", app, single_class_schedule(plan, "big"))
+        pmap.assign("b", app, single_class_schedule(plan, "gpu"))
+        pmap.assign("c", app, single_class_schedule(plan, "medium"))
+        before_free = pmap.free_classes()
+        with pytest.raises(ServeError, match="oversubscribe"):
+            pmap.reassign("c", app, single_class_schedule(plan, "gpu"))
+        assert pmap.partition_of("a") == frozenset({"big"})
+        assert pmap.partition_of("b") == frozenset({"gpu"})
+        assert pmap.partition_of("c") == frozenset({"medium"})
+        assert pmap.free_classes() == before_free
+        pmap.check()
+        # The map is still fully functional after the rollback: c can
+        # move to a genuinely free class.
+        assert (pmap.reassign("c", app,
+                              single_class_schedule(plan, "little"))
+                == frozenset({"little"}))
+        pmap.check()
+
 
 class TestReleaseAndCheck:
     def test_release_unknown_tenant(self, pmap):

@@ -299,6 +299,65 @@ class TestServe:
         assert report["metrics"]["counters"]["admission.admits"] >= 1
 
 
+class TestFleet:
+    def test_soak_recovers_from_all_three_failures(
+        self, capsys, tmp_path
+    ):
+        path = tmp_path / "fleet.json"
+        code = main(["fleet", "--out", str(path)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fleet of 4 shards" in out
+        assert "failover" in out
+        payload = json.loads(path.read_text())
+        assert payload["counts"]["failover"] == 3
+        assert payload["surviving_tenants"] >= 11
+        statuses = {t["status"]
+                    for t in payload["tenants"].values()}
+        assert statuses <= {"completed", "shed"}
+        assert isinstance(payload["surviving_p95_slowdown"], float)
+        assert payload["shards"]["soc1"]["generation"] == 2
+
+    def test_json_mode_stdout_is_pure_json(self, capsys):
+        code = main(["fleet", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failover_enabled"] is True
+        assert payload["n_shards"] == 4
+
+    def test_no_failover_baseline_strands_tenants(self, capsys):
+        code = main(["fleet", "--no-failover", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["failover_enabled"] is False
+        assert "failover" not in payload["counts"]
+        assert any(t["status"] == "failed"
+                   for t in payload["tenants"].values())
+
+    def test_trace_out_exports_chrome_trace(self, capsys, tmp_path):
+        trace_path = tmp_path / "fleet_trace.json"
+        report_path = tmp_path / "fleet.json"
+        code = main([
+            "fleet", "--trace-out", str(trace_path),
+            "--out", str(report_path),
+        ])
+        assert code == 0
+        trace = json.loads(trace_path.read_text())
+        assert trace["displayTimeUnit"] == "ms"
+        categories = {e.get("cat") for e in trace["traceEvents"]}
+        assert {"fleet", "serve"} <= categories
+        report = json.loads(report_path.read_text())
+        counters = report["metrics"]["counters"]
+        assert counters["fleet.failovers"] == 3
+        assert counters["breaker.transitions"] >= 3
+
+    def test_scenario_validation_is_structured(self, capsys):
+        assert main(["fleet", "--shards", "2"]) == 1
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "FleetError"
+        assert "4" in err["message"]
+
+
 class TestTrace:
     def test_offline_trace_prints_chrome_json(self, capsys):
         code = main([
