@@ -1,0 +1,386 @@
+"""Project-wide symbol table and call resolution for ``repro flow``.
+
+The interprocedural taint pass needs to answer one question cheaply and
+deterministically: *which project function does this call site invoke?*
+This module builds the whole-program model behind that answer:
+
+* :class:`FunctionInfo` - one function or method (qualified name,
+  parameters, AST node, enclosing class).
+* :class:`ModuleInfo`  - one parsed module: its dotted name, import
+  alias table, top-level functions, classes and methods.
+* :class:`Project`     - the aggregate, with :meth:`Project.resolve`
+  mapping a call expression to its target.
+
+Resolution is deliberately *under*-approximate: a call we cannot pin to
+exactly one project function resolves to ``None`` and the taint engine
+falls back to join-of-arguments propagation (taint is never laundered
+by an unresolved call, but unresolved calls also never *add* sink
+edges).  The supported shapes cover this codebase's idiom:
+
+* bare names (module-local functions, ``from x import f`` aliases),
+* ``self.method()`` / ``cls.method()`` (single-inheritance lookup
+  through project base classes),
+* ``module.func()`` / ``package.module.func()`` via import aliases,
+* ``ClassName(...)`` constructors (resolved to the class, so field
+  writes and ``__init__`` flows are modelled),
+* unique-method-name fallback: ``obj.frob()`` where exactly one class
+  in the project defines ``frob``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.analysis.astcache import ParsedModule
+
+#: Method names too generic for the unique-name fallback: resolving
+#: ``x.get(...)`` to some project method named ``get`` would be wrong
+#: far more often than right.
+_AMBIGUOUS_METHOD_NAMES = frozenset({
+    "get", "run", "push", "pop", "close", "start", "stop", "join",
+    "add", "append", "update", "items", "keys", "values", "copy",
+    "format", "read", "write", "clear", "submit", "name", "check",
+})
+
+
+@dataclass
+class FunctionInfo:
+    """One project function or method."""
+
+    qname: str
+    name: str
+    node: Union[ast.FunctionDef, ast.AsyncFunctionDef]
+    module: str
+    path: str
+    cls: Optional[str] = None  # enclosing class local name
+    _params: Optional[Tuple[str, ...]] = field(
+        default=None, repr=False, compare=False)
+    _kwonly: Optional[Tuple[str, ...]] = field(
+        default=None, repr=False, compare=False)
+
+    @property
+    def is_method(self) -> bool:
+        return self.cls is not None
+
+    @property
+    def params(self) -> Tuple[str, ...]:
+        """Positional-or-keyword parameter names, ``self``/``cls``
+        stripped for methods (computed once; hot in the flow pass)."""
+        if self._params is None:
+            args = self.node.args
+            names = [a.arg for a in args.posonlyargs] + \
+                    [a.arg for a in args.args]
+            if self.is_method and names and names[0] in ("self", "cls"):
+                names = names[1:]
+            self._params = tuple(names)
+        return self._params
+
+    @property
+    def kwonly_params(self) -> Tuple[str, ...]:
+        if self._kwonly is None:
+            self._kwonly = tuple(
+                a.arg for a in self.node.args.kwonlyargs)
+        return self._kwonly
+
+
+@dataclass
+class ClassInfo:
+    """One project class: its methods and project base classes."""
+
+    qname: str
+    name: str
+    module: str
+    path: str
+    bases: Tuple[str, ...] = ()  # base names as written in source
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class-body field names in declaration order (dataclass
+    #: positional-constructor mapping).
+    fields: Tuple[str, ...] = ()
+
+    def init_params(self) -> Tuple[str, ...]:
+        """Constructor parameter names: explicit ``__init__`` if
+        present, else the dataclass field order."""
+        init = self.methods.get("__init__")
+        if init is not None:
+            return init.params
+        return self.fields
+
+
+@dataclass
+class ModuleInfo:
+    """One module's symbols and import alias table."""
+
+    modname: str
+    path: str
+    #: local alias -> fully qualified name (module or module.symbol).
+    imports: Dict[str, str] = field(default_factory=dict)
+    functions: Dict[str, FunctionInfo] = field(default_factory=dict)
+    classes: Dict[str, ClassInfo] = field(default_factory=dict)
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name for a source path.
+
+    Anchored at the last ``repro`` path component when present (the
+    installed package), else the file stem - good enough for fixture
+    trees, which resolve within one directory.
+    """
+    parts = list(Path(path).parts)
+    stem = Path(path).stem
+    if "repro" in parts:
+        anchor = len(parts) - 1 - parts[::-1].index("repro")
+        dotted = parts[anchor:-1] + ([] if stem == "__init__" else [stem])
+        return ".".join(dotted)
+    return stem
+
+
+class Project:
+    """Whole-program symbol table over a set of parsed modules."""
+
+    def __init__(self) -> None:
+        self.modules: Dict[str, ModuleInfo] = {}
+        self.functions: Dict[str, FunctionInfo] = {}
+        self.classes: Dict[str, ClassInfo] = {}
+        self._methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        self._classes_by_name: Dict[str, List[ClassInfo]] = {}
+        # id(call.func) -> resolution.  A call node belongs to exactly
+        # one module/function, and the project holds its tree alive, so
+        # identity-keyed memoization is sound for this project's
+        # lifetime (resolution is static).
+        self._resolved: Dict[int, Optional[
+            Union[FunctionInfo, ClassInfo]]] = {}
+        self._all_functions: Optional[List[FunctionInfo]] = None
+        self._functions_by_path: Optional[
+            Dict[str, List[FunctionInfo]]] = None
+
+    # -- construction --------------------------------------------------
+    @classmethod
+    def build(cls, parsed: Iterable[ParsedModule]) -> "Project":
+        project = cls()
+        for module in parsed:
+            project._add_module(module)
+        return project
+
+    def _add_module(self, parsed: ParsedModule) -> None:
+        modname = module_name_for(parsed.path)
+        info = ModuleInfo(modname=modname, path=parsed.path)
+        for node in parsed.tree.body:
+            self._collect_top_level(node, info)
+        self.modules[modname] = info
+
+    def _collect_top_level(self, node: ast.stmt, info: ModuleInfo) -> None:
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.split(".")[0]
+                target = alias.name if alias.asname else \
+                    alias.name.split(".")[0]
+                info.imports[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.module is None or node.level:
+                # Relative imports: resolve against the module package.
+                package = info.modname.rsplit(".", node.level or 1)[0] \
+                    if "." in info.modname else info.modname
+                base = (f"{package}.{node.module}" if node.module
+                        else package)
+            else:
+                base = node.module
+            for alias in node.names:
+                local = alias.asname or alias.name
+                info.imports[local] = f"{base}.{alias.name}"
+        elif isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            fn = FunctionInfo(
+                qname=f"{info.modname}.{node.name}", name=node.name,
+                node=node, module=info.modname, path=info.path,
+            )
+            info.functions[node.name] = fn
+            self.functions[fn.qname] = fn
+        elif isinstance(node, ast.ClassDef):
+            ci = ClassInfo(
+                qname=f"{info.modname}.{node.name}", name=node.name,
+                module=info.modname, path=info.path,
+                bases=tuple(b for b in map(_base_name, node.bases) if b),
+            )
+            fields: List[str] = []
+            for item in node.body:
+                if (isinstance(item, ast.AnnAssign)
+                        and isinstance(item.target, ast.Name)):
+                    fields.append(item.target.id)
+                elif isinstance(item, ast.Assign):
+                    for target in item.targets:
+                        if isinstance(target, ast.Name):
+                            fields.append(target.id)
+                if isinstance(item, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                    method = FunctionInfo(
+                        qname=f"{ci.qname}.{item.name}", name=item.name,
+                        node=item, module=info.modname, path=info.path,
+                        cls=node.name,
+                    )
+                    ci.methods[item.name] = method
+                    self.functions[method.qname] = method
+                    self._methods_by_name.setdefault(
+                        item.name, []).append(method)
+            ci.fields = tuple(fields)
+            info.classes[node.name] = ci
+            self.classes[ci.qname] = ci
+            self._classes_by_name.setdefault(node.name, []).append(ci)
+        elif isinstance(node, (ast.If, ast.Try)):
+            # TYPE_CHECKING / version-guarded imports and defs.
+            for sub in ast.iter_child_nodes(node):
+                if isinstance(sub, ast.stmt):
+                    self._collect_top_level(sub, info)
+
+    # -- resolution ----------------------------------------------------
+    def all_functions(self) -> List[FunctionInfo]:
+        """Every function and method, in deterministic qname order.
+
+        Memoised: construction is finished before the first call, and
+        the analyses ask once per module they visit.
+        """
+        if self._all_functions is None:
+            self._all_functions = [
+                self.functions[q] for q in sorted(self.functions)
+            ]
+        return self._all_functions
+
+    def functions_in(self, path: str) -> List[FunctionInfo]:
+        """The functions defined in one file, in qname order."""
+        index = self._functions_by_path
+        if index is None:
+            index = {}
+            for fn in self.all_functions():
+                index.setdefault(fn.path, []).append(fn)
+            self._functions_by_path = index
+        return index.get(path, [])
+
+    def class_by_local_name(self, name: str,
+                            module: ModuleInfo) -> Optional[ClassInfo]:
+        ci = module.classes.get(name)
+        if ci is not None:
+            return ci
+        qualified = module.imports.get(name)
+        if qualified is not None and qualified in self.classes:
+            return self.classes[qualified]
+        candidates = self._classes_by_name.get(name, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def method_on(self, cls: ClassInfo,
+                  method: str) -> Optional[FunctionInfo]:
+        """Look up a method on a class, walking project base classes."""
+        seen = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.qname in seen:
+                continue
+            seen.add(current.qname)
+            if method in current.methods:
+                return current.methods[method]
+            module = self.modules.get(current.module)
+            if module is None:
+                continue
+            for base in current.bases:
+                base_ci = self.class_by_local_name(base, module)
+                if base_ci is not None:
+                    queue.append(base_ci)
+        return None
+
+    def resolve(
+        self, func: ast.expr, module: ModuleInfo,
+        enclosing_class: Optional[str] = None,
+    ) -> Optional[Union[FunctionInfo, ClassInfo]]:
+        """The unique project target of a call expression, if known."""
+        key = id(func)
+        if key in self._resolved:
+            return self._resolved[key]
+        if isinstance(func, ast.Name):
+            result = self._resolve_name(func.id, module)
+        elif isinstance(func, ast.Attribute):
+            result = self._resolve_attribute(func, module,
+                                             enclosing_class)
+        else:
+            result = None
+        self._resolved[key] = result
+        return result
+
+    def _resolve_name(
+        self, name: str, module: ModuleInfo,
+    ) -> Optional[Union[FunctionInfo, ClassInfo]]:
+        if name in module.functions:
+            return module.functions[name]
+        if name in module.classes:
+            return module.classes[name]
+        qualified = module.imports.get(name)
+        if qualified is not None:
+            if qualified in self.functions:
+                return self.functions[qualified]
+            if qualified in self.classes:
+                return self.classes[qualified]
+        return None
+
+    def _resolve_attribute(
+        self, func: ast.Attribute, module: ModuleInfo,
+        enclosing_class: Optional[str],
+    ) -> Optional[Union[FunctionInfo, ClassInfo]]:
+        attr = func.attr
+        base = func.value
+        if isinstance(base, ast.Name):
+            if base.id in ("self", "cls") and enclosing_class:
+                ci = module.classes.get(enclosing_class)
+                if ci is not None:
+                    found = self.method_on(ci, attr)
+                    if found is not None:
+                        return found
+            # module alias: ``serialization.save(...)``
+            qualified = module.imports.get(base.id)
+            if qualified is not None:
+                dotted = f"{qualified}.{attr}"
+                if dotted in self.functions:
+                    return self.functions[dotted]
+                if dotted in self.classes:
+                    return self.classes[dotted]
+            # ``ClassName.method(...)`` (unbound / classmethod use)
+            ci = self.class_by_local_name(base.id, module) \
+                if base.id[:1].isupper() else None
+            if ci is not None:
+                return self.method_on(ci, attr)
+        elif isinstance(base, ast.Attribute):
+            dotted = _dotted(func)
+            if dotted:
+                if dotted in self.functions:
+                    return self.functions[dotted]
+                head = dotted.split(".", 1)[0]
+                qualified = module.imports.get(head)
+                if qualified is not None:
+                    rebased = dotted.replace(head, qualified, 1)
+                    if rebased in self.functions:
+                        return self.functions[rebased]
+                    if rebased in self.classes:
+                        return self.classes[rebased]
+        # unique-method-name fallback
+        if attr in _AMBIGUOUS_METHOD_NAMES:
+            return None
+        candidates = self._methods_by_name.get(attr, [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+
+def _base_name(node: ast.expr) -> str:
+    return _dotted(node).split(".")[-1] if _dotted(node) else ""
+
+
+def _dotted(node: ast.expr) -> str:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""

@@ -1,0 +1,389 @@
+"""Clock-domain discipline analysis (the second ``repro flow`` pass).
+
+The tracer (PR 5) defines two clock domains: ``control`` - logical
+scheduler ticks - and ``virtual`` - DES seconds.  Both are plain ints/
+floats at runtime, so nothing stops ``deadline_tick + budget_s`` from
+type-checking; it is simply wrong by a unit error, and unit errors in
+deadline arithmetic are exactly the class of bug that silently skews a
+soak without failing any assertion.
+
+This pass infers a domain for every value from the repo's naming
+convention (which the codebase already follows consistently):
+
+* ``*_s`` / ``*_sec`` / ``*_secs`` / ``*_seconds``  -> **VIRTUAL**
+  (seconds),
+* ``tick`` / ``ticks`` / ``beat`` / ``beats`` and the ``*_tick`` /
+  ``*_ticks`` / ``*_beat`` / ``*_beats`` suffixes -> **CONTROL**
+  (logical ticks),
+* everything else -> unknown (never reported).
+
+Rules:
+
+* ``CLOCK-MIX``  - ``+``/``-``/``%``/comparison over operands of
+  *different known* domains, or assigning a known domain into a name
+  declared as the other.
+* ``CLOCK-CALL`` - passing a known domain where a call parameter's
+  name declares the other (resolved project calls check positional
+  args; *every* call checks keyword argument names).
+
+``*`` and ``/`` are conversions between domains (``ticks * dt_s``),
+so multiplicative results are unknown by construction - the analysis
+never flags a legitimate unit conversion.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from bisect import bisect_left
+from itertools import accumulate
+from typing import Dict, List, Optional
+
+from repro.analysis.astcache import ParsedModule
+from repro.analysis.callgraph import (
+    ClassInfo,
+    FunctionInfo,
+    Project,
+)
+from repro.analysis.rules import Finding
+
+CONTROL = "control-ticks"
+VIRTUAL = "virtual-seconds"
+
+_SECONDS_SUFFIXES = ("_s", "_sec", "_secs", "_seconds")
+_TICK_SUFFIXES = ("_tick", "_ticks", "_beat", "_beats")
+_TICK_NAMES = frozenset({"tick", "ticks", "beat", "beats"})
+_SECONDS_NAMES = frozenset({"seconds"})
+
+#: Arithmetic that requires both operands in one domain.
+_ADDITIVE = (ast.Add, ast.Sub, ast.Mod)
+
+
+#: Any source line that could introduce a known clock domain contains
+#: one of these tokens (identifier suffixes / bare names, see
+#: :func:`domain_of_name`).  Matching raw text over-approximates -
+#: comments and strings count - which is exactly what a skip-filter
+#: needs: a function whose lines never match cannot yield a finding.
+_DOMAIN_TOKEN = re.compile(
+    r"(?i)(?:_s|_secs?|_seconds|_ticks?|_beats?"
+    r"|\bticks?|\bbeats?|\bseconds)\b")
+
+#: Same alternatives, for anchored validation of a candidate offset
+#: (no leading ``\b`` - the caller checks the left boundary itself).
+_DOMAIN_TOKEN_AT = re.compile(
+    r"(?i)(?:_s|_secs?|_seconds|_ticks?|_beats?"
+    r"|ticks?|beats?|seconds)\b")
+
+#: Substrings that appear in every (lower-cased) domain token; the
+#: ``_s`` needle also covers ``_secs``/``_seconds`` prefixes.
+_TOKEN_NEEDLES = ("_s", "tick", "beat", "second")
+
+
+def _token_positions(source: str) -> List[int]:
+    """Sorted offsets where :data:`_DOMAIN_TOKEN` matches ``source``.
+
+    ``sre`` has no multi-literal scan, so ``finditer`` with this
+    alternation walks the text position by position - it dominated the
+    whole clock pass.  ``str.find`` over a handful of needles is a
+    C-level memchr scan; each candidate is then validated with one
+    anchored match.  Falls back to the plain scan in the (non-ASCII)
+    corner where lower-casing changes string length and offsets would
+    skew.
+    """
+    lowered = source.lower()
+    if len(lowered) != len(source):  # pragma: no cover - exotic case
+        return [m.start() for m in _DOMAIN_TOKEN.finditer(source)]
+    candidates = set()
+    for needle in _TOKEN_NEEDLES:
+        pos = lowered.find(needle)
+        while pos >= 0:
+            candidates.add(pos)
+            if needle != "_s" and pos and lowered[pos - 1] == "_":
+                # _ticks / _beats / _seconds match from the underscore.
+                candidates.add(pos - 1)
+            pos = lowered.find(needle, pos + 1)
+    hits = []
+    for pos in sorted(candidates):
+        if _DOMAIN_TOKEN_AT.match(lowered, pos) is None:
+            continue
+        if lowered[pos] != "_" and pos:
+            prev = lowered[pos - 1]
+            if prev.isalnum() or prev == "_":
+                continue  # bare token needs a left word boundary
+        hits.append(pos)
+    return hits
+
+
+def domain_of_name(name: str) -> Optional[str]:
+    """The clock domain a naming convention declares, if any."""
+    lowered = name.lower()
+    if lowered in _TICK_NAMES or lowered.endswith(_TICK_SUFFIXES):
+        return CONTROL
+    if lowered in _SECONDS_NAMES \
+            or lowered.endswith(_SECONDS_SUFFIXES):
+        return VIRTUAL
+    return None
+
+
+class _ClockChecker:
+    """Single-pass domain checker over one function (or module) body."""
+
+    def __init__(self, project: Project, path: str,
+                 fn: Optional[FunctionInfo]) -> None:
+        self.project = project
+        self.path = path
+        self.module = project.modules.get(fn.module) if fn else None
+        self.enclosing_class = fn.cls if fn else None
+        self.env: Dict[str, str] = {}
+        self.findings: List[Finding] = []
+        if fn is not None:
+            for param in tuple(fn.params) + tuple(fn.kwonly_params):
+                declared = domain_of_name(param)
+                if declared is not None:
+                    self.env[param] = declared
+
+    def emit(self, node: ast.AST, rule_id: str, message: str) -> None:
+        self.findings.append(Finding(
+            rule_id=rule_id, path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0), message=message,
+        ))
+
+    # -- domains -------------------------------------------------------
+    def domain(self, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return self.env.get(node.id, domain_of_name(node.id))
+        if isinstance(node, ast.Attribute):
+            return domain_of_name(node.attr)
+        if isinstance(node, ast.Subscript):
+            return self.domain(node.value)
+        if isinstance(node, ast.Call):
+            func = node.func
+            terminal = func.attr if isinstance(func, ast.Attribute) \
+                else (func.id if isinstance(func, ast.Name) else "")
+            if terminal in ("int", "float", "round", "abs",
+                            "min", "max", "sum"):
+                domains = {self.domain(a) for a in node.args}
+                domains.discard(None)
+                if len(domains) == 1:
+                    return domains.pop()
+                return None
+            return domain_of_name(terminal)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, _ADDITIVE):
+                left = self.domain(node.left)
+                right = self.domain(node.right)
+                return left if left is not None else right
+            return None  # * and / convert between domains
+        if isinstance(node, ast.UnaryOp):
+            return self.domain(node.operand)
+        if isinstance(node, ast.IfExp):
+            body = self.domain(node.body)
+            orelse = self.domain(node.orelse)
+            return body if body == orelse else None
+        return None
+
+    # -- traversal -----------------------------------------------------
+    def check_expr(self, node: ast.expr) -> None:
+        # Hand-rolled DFS: this visits every expression in the tree,
+        # and ``ast.walk``'s generator machinery dominated the whole
+        # pass's runtime.  Only expression children are pushed - clock
+        # operands cannot hide in statement positions of an expression.
+        stack: List[ast.AST] = [node]
+        while stack:
+            sub = stack.pop()
+            cls = sub.__class__
+            if cls is ast.Name or cls is ast.Constant:
+                continue  # leaves: nothing to check, nothing to push
+            if cls is ast.BinOp:
+                if isinstance(sub.op, _ADDITIVE):
+                    left = self.domain(sub.left)
+                    right = self.domain(sub.right)
+                    if left and right and left != right:
+                        self.emit(
+                            sub, "CLOCK-MIX",
+                            f"additive arithmetic mixes {left} with "
+                            f"{right}; convert explicitly (multiply by "
+                            "the tick period) before combining clock "
+                            "domains",
+                        )
+                stack.append(sub.left)
+                stack.append(sub.right)
+                continue
+            if cls is ast.Compare:
+                left_domain = self.domain(sub.left)
+                for comparator in sub.comparators:
+                    right_domain = self.domain(comparator)
+                    if (left_domain and right_domain
+                            and left_domain != right_domain):
+                        self.emit(
+                            sub, "CLOCK-MIX",
+                            f"comparison mixes {left_domain} with "
+                            f"{right_domain}; the two tracer clock "
+                            "domains are not commensurable",
+                        )
+                stack.append(sub.left)
+                stack.extend(sub.comparators)
+                continue
+            if cls is ast.Call:
+                self.check_call(sub)
+                stack.append(sub.func)
+                stack.extend(sub.args)
+                for keyword in sub.keywords:
+                    stack.append(keyword.value)
+                continue
+            for child in ast.iter_child_nodes(sub):
+                if isinstance(child, ast.expr):
+                    stack.append(child)
+                elif isinstance(child, ast.comprehension):
+                    stack.append(child.iter)
+                    stack.extend(child.ifs)
+
+    def check_call(self, call: ast.Call) -> None:
+        params: tuple = ()
+        target = None
+        if self.module is not None:
+            target = self.project.resolve(call.func, self.module,
+                                          self.enclosing_class)
+        if isinstance(target, FunctionInfo):
+            params = tuple(target.params) + tuple(target.kwonly_params)
+        elif isinstance(target, ClassInfo):
+            params = target.init_params()
+        for index, arg in enumerate(call.args):
+            if index >= len(params):
+                break
+            expected = domain_of_name(params[index])
+            actual = self.domain(arg)
+            if expected and actual and expected != actual:
+                self.emit(
+                    call, "CLOCK-CALL",
+                    f"argument {index} is {actual} but parameter "
+                    f"'{params[index]}' expects {expected}",
+                )
+        for keyword in call.keywords:
+            if keyword.arg is None:
+                continue
+            expected = domain_of_name(keyword.arg)
+            actual = self.domain(keyword.value)
+            if expected and actual and expected != actual:
+                self.emit(
+                    call, "CLOCK-CALL",
+                    f"keyword '{keyword.arg}' expects {expected} but "
+                    f"the argument is {actual}",
+                )
+
+    def check_stmt(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            return  # analysed separately
+        if isinstance(stmt, ast.Assign):
+            self.check_expr(stmt.value)
+            value_domain = self.domain(stmt.value)
+            for target in stmt.targets:
+                self.check_assign_target(target, value_domain,
+                                         stmt.value)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            self.check_expr(stmt.value)
+            self.check_assign_target(stmt.target,
+                                     self.domain(stmt.value),
+                                     stmt.value)
+        elif isinstance(stmt, ast.AugAssign):
+            self.check_expr(stmt.value)
+            if isinstance(stmt.op, _ADDITIVE):
+                target_domain = self.domain(stmt.target)
+                value_domain = self.domain(stmt.value)
+                if (target_domain and value_domain
+                        and target_domain != value_domain):
+                    self.emit(
+                        stmt, "CLOCK-MIX",
+                        f"augmented assignment adds {value_domain} "
+                        f"into a {target_domain} accumulator",
+                    )
+        else:
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, ast.expr):
+                    self.check_expr(sub)
+                elif isinstance(sub, ast.stmt):
+                    self.check_stmt(sub)
+                elif isinstance(sub, (ast.withitem,
+                                      ast.excepthandler)):
+                    for inner in ast.iter_child_nodes(sub):
+                        if isinstance(inner, ast.expr):
+                            self.check_expr(inner)
+                        elif isinstance(inner, ast.stmt):
+                            self.check_stmt(inner)
+
+    def check_assign_target(self, target: ast.expr,
+                            value_domain: Optional[str],
+                            value: ast.expr) -> None:
+        if isinstance(target, ast.Name):
+            declared = domain_of_name(target.id)
+            if declared and value_domain and declared != value_domain:
+                self.emit(
+                    value, "CLOCK-MIX",
+                    f"assigning a {value_domain} value to "
+                    f"'{target.id}', which declares {declared}",
+                )
+            resolved = declared or value_domain
+            if resolved is not None:
+                self.env[target.id] = resolved
+            else:
+                self.env.pop(target.id, None)
+        elif isinstance(target, ast.Attribute):
+            declared = domain_of_name(target.attr)
+            if declared and value_domain and declared != value_domain:
+                self.emit(
+                    value, "CLOCK-MIX",
+                    f"assigning a {value_domain} value to attribute "
+                    f"'.{target.attr}', which declares {declared}",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            pass  # element-wise domains unknown
+
+    def check_body(self, body: List[ast.stmt]) -> None:
+        for stmt in body:
+            self.check_stmt(stmt)
+
+
+def check_clocks(parsed: ParsedModule,
+                 project: Project) -> List[Finding]:
+    """Clock-domain findings for one module (functions + top level)."""
+    findings: List[Finding] = []
+    source = parsed.source
+    # One regex scan of the whole module collects every domain-token
+    # position; per-function "could this span name a clock domain at
+    # all?" then becomes a bisect into that list instead of a fresh
+    # bounded search per function.  Token-free functions are skipped -
+    # they cannot yield a finding.
+    hits = _token_positions(source)
+    if not hits:
+        return findings
+    # Character offset of each line start (all C-level list building):
+    # a function's line span becomes a char span.
+    starts = [0, *accumulate(
+        map(len, source.splitlines(keepends=True)))]
+    last_line = len(starts) - 1
+
+    def span_has_token(node: ast.AST) -> bool:
+        first = min(getattr(node, "lineno", 1), last_line)
+        last = getattr(node, "end_lineno", None)
+        lo = starts[first - 1]
+        hi = starts[last] if (last is not None
+                              and last <= last_line) else len(source)
+        index = bisect_left(hits, lo)
+        return index < len(hits) and hits[index] < hi
+
+    for fn in project.functions_in(parsed.path):
+        if not span_has_token(fn.node):
+            continue
+        checker = _ClockChecker(project, parsed.path, fn)
+        checker.check_body(fn.node.body)
+        findings.extend(checker.findings)
+    top = _ClockChecker(project, parsed.path, None)
+    top.check_body([
+        s for s in parsed.tree.body
+        if not isinstance(s, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.ClassDef))
+    ])
+    findings.extend(top.findings)
+    return findings

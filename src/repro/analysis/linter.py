@@ -11,19 +11,28 @@ finding into a non-zero exit, which is how CI gates the tree.
 from __future__ import annotations
 
 import ast
-import re
+import subprocess
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.analysis.astcache import (
+    AstCache,
+    ParsedModule,
+    ast_cache,
+    legacy_suppression_lines,
+    parse_module,
+)
+from repro.analysis.astcache import (
+    parse_suppressions as _parse_tool_suppressions,
+)
 from repro.analysis.rules import Finding, Rule, all_rules
 from repro.errors import AnalysisError
 
-#: ``# bt-lint: disable=RULE-ID[,RULE-ID...]`` (``ALL`` disables every
+#: The suppression-comment tag this tool honours
+#: (``# bt-lint: disable=RULE-ID[,RULE-ID...]``; ``ALL`` disables every
 #: rule on that line).
-_SUPPRESS_RE = re.compile(
-    r"#\s*bt-lint:\s*disable=([A-Za-z0-9_\-, ]+)"
-)
+TOOL_TAG = "bt-lint"
 
 
 @dataclass
@@ -44,6 +53,7 @@ class LintReport:
             "tool": "repro-lint",
             "files_checked": self.files_checked,
             "suppressed": self.suppressed,
+            "clean": self.clean,
             "findings": [f.to_dict() for f in self.findings],
             "counts": self.counts,
         }
@@ -58,15 +68,9 @@ class LintReport:
 
 def parse_suppressions(source: str) -> Dict[int, Set[str]]:
     """Line number (1-based) -> rule ids suppressed on that line."""
-    suppressions: Dict[int, Set[str]] = {}
-    for lineno, line in enumerate(source.splitlines(), start=1):
-        match = _SUPPRESS_RE.search(line)
-        if match is None:
-            continue
-        ids = {part.strip().upper()
-               for part in match.group(1).split(",") if part.strip()}
-        suppressions[lineno] = ids
-    return suppressions
+    return legacy_suppression_lines(
+        _parse_tool_suppressions(source, TOOL_TAG)
+    )
 
 
 def _is_suppressed(finding: Finding,
@@ -78,6 +82,27 @@ def _is_suppressed(finding: Finding,
     return False
 
 
+def lint_module(
+    module: ParsedModule,
+    rules: Optional[Sequence[Rule]] = None,
+) -> Tuple[List[Finding], int]:
+    """Lint one parsed module; returns (findings, suppressed_count)."""
+    path = module.path
+    suppressions = legacy_suppression_lines(module.suppressions(TOOL_TAG))
+    findings: List[Finding] = []
+    suppressed = 0
+    for rule in (rules if rules is not None else all_rules()):
+        if not rule.applies(path):
+            continue
+        for finding in rule.check(module.tree, path):
+            if _is_suppressed(finding, suppressions):
+                suppressed += 1
+            else:
+                findings.append(finding)
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
+    return findings, suppressed
+
+
 def lint_source(
     source: str, path: str = "<string>",
     rules: Optional[Sequence[Rule]] = None,
@@ -87,23 +112,7 @@ def lint_source(
     Raises:
         AnalysisError: The source does not parse.
     """
-    try:
-        tree = ast.parse(source, filename=path)
-    except SyntaxError as exc:
-        raise AnalysisError(f"cannot lint {path}: {exc}") from exc
-    suppressions = parse_suppressions(source)
-    findings: List[Finding] = []
-    suppressed = 0
-    for rule in (rules if rules is not None else all_rules()):
-        if not rule.applies(path):
-            continue
-        for finding in rule.check(tree, path):
-            if _is_suppressed(finding, suppressions):
-                suppressed += 1
-            else:
-                findings.append(finding)
-    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule_id))
-    return findings, suppressed
+    return lint_module(parse_module(source, path), rules=rules)
 
 
 def collect_files(paths: Iterable[Path]) -> List[Path]:
@@ -123,24 +132,25 @@ def collect_files(paths: Iterable[Path]) -> List[Path]:
         elif path.is_file():
             files.append(path)
         else:
-            raise AnalysisError(f"lint target {path} does not exist")
+            raise AnalysisError(
+                f"analysis target {path} does not exist")
     return files
 
 
 def lint_paths(
     paths: Iterable[Path],
     rules: Optional[Sequence[Rule]] = None,
+    cache: Optional[AstCache] = None,
 ) -> LintReport:
-    """Lint every ``.py`` file under ``paths``."""
+    """Lint every ``.py`` file under ``paths``.
+
+    Parsing goes through the shared :class:`AstCache`, so a ``flow``
+    run over the same tree (in either order) reuses every tree.
+    """
+    cache = cache if cache is not None else ast_cache()
     report = LintReport()
     for file_path in collect_files(paths):
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except OSError as exc:
-            raise AnalysisError(
-                f"cannot read {file_path}: {exc}"
-            ) from exc
-        findings, suppressed = lint_source(source, str(file_path),
+        findings, suppressed = lint_module(cache.get(file_path),
                                            rules=rules)
         report.findings.extend(findings)
         report.suppressed += suppressed
@@ -151,3 +161,46 @@ def lint_paths(
 def default_lint_target() -> Path:
     """The installed ``repro`` package directory (the repo baseline)."""
     return Path(__file__).resolve().parent.parent
+
+
+def changed_files(base: str = "HEAD",
+                  repo_root: Optional[Path] = None) -> List[Path]:
+    """``.py`` files changed vs ``base`` (``git diff`` + untracked).
+
+    The fast pre-commit path behind ``repro lint --changed`` /
+    ``repro flow --changed``: committed, staged, unstaged *and*
+    untracked Python files differing from ``base`` are all included,
+    as absolute paths.  Deleted files are excluded.
+
+    Raises:
+        AnalysisError: Not a git checkout, or ``base`` is unknown.
+    """
+    root = Path(repo_root) if repo_root is not None else Path.cwd()
+
+    def run_git(*args: str) -> str:
+        try:
+            proc = subprocess.run(
+                ["git", *args], cwd=str(root), capture_output=True,
+                text=True,
+            )
+        except OSError as exc:
+            raise AnalysisError(f"cannot run git: {exc}") from exc
+        if proc.returncode != 0:
+            raise AnalysisError(
+                f"git {' '.join(args)} failed: "
+                f"{proc.stderr.strip() or proc.stdout.strip()}"
+            )
+        return proc.stdout
+
+    top = Path(run_git("rev-parse", "--show-toplevel").strip())
+    names = run_git("diff", "--name-only", base).splitlines()
+    names += run_git("ls-files", "--others",
+                     "--exclude-standard").splitlines()
+    files: List[Path] = []
+    for name in sorted(set(names)):
+        if not name.endswith(".py"):
+            continue
+        path = top / name
+        if path.is_file():
+            files.append(path)
+    return files

@@ -116,15 +116,30 @@ def get_rule(rule_id: str) -> Optional[Rule]:
 # AST helpers
 # ----------------------------------------------------------------------
 def dotted_name(node: ast.AST) -> str:
-    """``a.b.c`` for Name/Attribute chains, ``""`` otherwise."""
+    """``a.b.c`` for Name/Attribute chains, ``""`` otherwise.
+
+    Memoized on the node itself (purely syntactic, so safe to cache
+    for the node's lifetime): the flow analysis resolves the same call
+    targets once per fixpoint pass, which makes this the hottest
+    helper in the tree.
+    """
+    cached = getattr(node, "_bt_dotted", None)
+    if cached is not None:
+        return cached
+    root = node
     parts: List[str] = []
     while isinstance(node, ast.Attribute):
         parts.append(node.attr)
         node = node.value
+    name = ""
     if isinstance(node, ast.Name):
         parts.append(node.id)
-        return ".".join(reversed(parts))
-    return ""
+        name = ".".join(reversed(parts))
+    try:
+        root._bt_dotted = name  # type: ignore[attr-defined]
+    except AttributeError:  # pragma: no cover - slotted nodes
+        pass
+    return name
 
 
 def _terminal_name(node: ast.AST) -> str:

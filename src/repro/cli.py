@@ -678,9 +678,24 @@ def cmd_submit(args: argparse.Namespace) -> int:
     return 0 if record.status in ("completed", "running") else 1
 
 
+def _analysis_targets(args: argparse.Namespace) -> Optional[List[Path]]:
+    """Paths to analyse, honouring ``--changed``.
+
+    Returns ``None`` when ``--changed`` matched nothing (the caller
+    should report clean and exit 0 without touching the tree).
+    """
+    from repro.analysis.linter import changed_files, default_lint_target
+
+    if args.changed is not None:
+        base = args.changed or "HEAD"
+        files = changed_files(base=base)
+        return files if files else None
+    return [Path(p) for p in args.paths] or [default_lint_target()]
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the static invariant linter (``--strict`` gates CI)."""
-    from repro.analysis.linter import default_lint_target, lint_paths
+    from repro.analysis.linter import lint_paths
     from repro.analysis.report import (
         render_lint_json,
         render_lint_text,
@@ -690,7 +705,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.list_rules:
         print(render_rule_catalog())
         return 0
-    paths = [Path(p) for p in args.paths] or [default_lint_target()]
+    paths = _analysis_targets(args)
+    if paths is None:
+        print("repro-lint: clean (no changed python files)",
+              file=sys.stderr)
+        return 0
     report = lint_paths(paths)
     if args.format == "json":
         print(json.dumps(render_lint_json(report), indent=2))
@@ -699,6 +718,34 @@ def cmd_lint(args: argparse.Namespace) -> int:
     if args.out:
         write_json_report(args.out, render_lint_json(report))
         print(f"lint report saved to {args.out}", file=sys.stderr)
+    return 1 if (args.strict and not report.clean) else 0
+
+
+def cmd_flow(args: argparse.Namespace) -> int:
+    """Run the whole-program determinism-flow analysis."""
+    from repro.analysis.flow import analyze_paths
+    from repro.analysis.report import (
+        render_flow_catalog,
+        render_flow_json,
+        render_flow_text,
+    )
+
+    if args.list_rules:
+        print(render_flow_catalog())
+        return 0
+    paths = _analysis_targets(args)
+    if paths is None:
+        print("repro-flow: clean (no changed python files)",
+              file=sys.stderr)
+        return 0
+    report = analyze_paths(paths)
+    if args.format == "json":
+        print(json.dumps(render_flow_json(report), indent=2))
+    else:
+        print(render_flow_text(report))
+    if args.out:
+        write_json_report(args.out, render_flow_json(report))
+        print(f"flow report saved to {args.out}", file=sys.stderr)
     return 1 if (args.strict and not report.clean) else 0
 
 
@@ -951,18 +998,28 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", help="save the serve report as JSON")
     p.set_defaults(fn=cmd_submit)
 
-    p = sub.add_parser("lint",
-                       help="static invariant linter over the tree")
-    p.add_argument("paths", nargs="*", default=[],
-                   help="files/directories to lint (default: the "
-                        "installed repro package)")
-    p.add_argument("--strict", action="store_true",
-                   help="exit non-zero when any finding survives")
-    p.add_argument("--format", choices=("text", "json"), default="text")
-    p.add_argument("--list-rules", action="store_true",
-                   help="print the rule catalog and exit")
-    p.add_argument("--out", help="save the JSON report to a file")
-    p.set_defaults(fn=cmd_lint)
+    for (name, help_text, fn) in (
+        ("lint", "static invariant linter over the tree", cmd_lint),
+        ("flow", "whole-program determinism-flow analysis "
+                 "(taint sources -> report sinks, clock domains)",
+         cmd_flow),
+    ):
+        p = sub.add_parser(name, help=help_text)
+        p.add_argument("paths", nargs="*", default=[],
+                       help="files/directories to analyse (default: "
+                            "the installed repro package)")
+        p.add_argument("--strict", action="store_true",
+                       help="exit 1 when any finding survives")
+        p.add_argument("--changed", nargs="?", const="HEAD",
+                       default=None, metavar="BASE",
+                       help="analyse only python files changed vs the "
+                            "given git ref (default: HEAD)")
+        p.add_argument("--format", choices=("text", "json"),
+                       default="text")
+        p.add_argument("--list-rules", action="store_true",
+                       help="print the rule catalog and exit")
+        p.add_argument("--out", help="save the JSON report to a file")
+        p.set_defaults(fn=fn)
 
     p = sub.add_parser("race",
                        help="dynamic concurrency checker (clean pipeline "
@@ -989,17 +1046,23 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code.
 
-    Failures exit non-zero with a one-line JSON error object on stderr
+    Exit codes are uniform across subcommands: 0 = success (or findings
+    without ``--strict``), 1 = findings under ``--strict`` (or a failed
+    selftest/run), 2 = tool failure - a :class:`ReproError`/``OSError``
+    rendered as a one-line JSON envelope on stderr
     (``{"error": <class>, "message": <text>}``) so drivers and CI can
     react to the failure kind without scraping tracebacks.
     """
     args = build_parser().parse_args(argv)
     try:
         return args.fn(args)
-    except (ReproError, OSError) as exc:
+    except ReproError as exc:
+        print(json.dumps(exc.payload()), file=sys.stderr)
+        return 2
+    except OSError as exc:
         print(json.dumps({"error": type(exc).__name__,
                           "message": str(exc)}), file=sys.stderr)
-        return 1
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

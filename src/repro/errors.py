@@ -13,6 +13,16 @@ from typing import Any, Dict, Sequence
 class ReproError(Exception):
     """Base class for every error raised by this library."""
 
+    def payload(self) -> Dict[str, Any]:
+        """Structured error envelope for CLI / JSON consumers.
+
+        Every ``repro`` subcommand prints this one-line object to
+        stderr and exits 2 on error, so drivers distinguish *tool
+        failure* (2) from *findings under --strict* (1) without
+        scraping tracebacks.
+        """
+        return {"error": type(self).__name__, "message": str(self)}
+
 
 class SolverError(ReproError):
     """Base class for constraint-solver errors."""

@@ -52,7 +52,12 @@ def generate_report(
         start = time.perf_counter()
         body = producer()
         elapsed = time.perf_counter() - start
-        sections.append(f"{body}\n[{name}: {elapsed:.1f}s]")
+        if progress is not None:
+            progress(f"{name} done in {elapsed:.1f}s")
+        # The report body must be byte-identical across runs (it is
+        # embedded in EXPERIMENTS.md and diffed); timing stays on the
+        # progress channel.
+        sections.append(f"{body}\n[{name}]")
 
     section("table1", lambda: format_table1(scale))
     section("table2", format_table2)

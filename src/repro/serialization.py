@@ -257,12 +257,15 @@ def optimization_to_dict(result: OptimizationResult) -> Dict[str, Any]:
             "gapness_s": c.gapness_s,
         }
 
+    # solver_wall_s is a host wall-clock measurement (diagnostic only):
+    # serializing it would make the checksummed artifact differ across
+    # otherwise-identical runs, so it stays in-memory and the loader
+    # defaults it to 0.0.
     return _tagged("optimization_result", {
         "application": result.application,
         "platform": result.platform,
         "gap_threshold_s": result.gap_threshold_s,
         "solver_invocations": result.solver_invocations,
-        "solver_wall_s": result.solver_wall_s,
         "degraded": result.degraded,
         "utilization_optimum": (
             candidate(result.utilization_optimum)

@@ -309,6 +309,7 @@ class TestCli:
         assert data["counts"] == {"UNSUPERVISED-THREAD": 1}
 
     def test_lint_missing_target_is_structured_error(self, capsys):
-        assert main(["lint", "/no/such/lint/target"]) == 1
+        # 2 = tool failure; 1 is reserved for findings under --strict.
+        assert main(["lint", "/no/such/lint/target"]) == 2
         err = json.loads(capsys.readouterr().err)
         assert err["error"] == "AnalysisError"

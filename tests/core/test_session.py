@@ -45,21 +45,14 @@ def run_campaign(tmp_path, framework, app, name="session"):
 def read_tree(directory):
     """{relative path: bytes} for every file under a session directory.
 
-    ``solver_wall_s`` (and the checksum over it) is wall-clock
-    telemetry - the only non-deterministic byte in a campaign - so it
-    is normalised out before comparison; everything else must match
-    byte for byte.
+    Campaign artifacts are fully deterministic (``solver_wall_s`` is
+    kept in-memory, never serialized), so every file - checksums
+    included - must match byte for byte across runs.
     """
-    tree = {}
-    for path in sorted(Path(directory).rglob("*.json")):
-        raw = path.read_bytes()
-        if path.name == "optimization.json":
-            data = json.loads(raw)
-            data.pop("solver_wall_s", None)
-            data.pop(CHECKSUM_KEY, None)
-            raw = json.dumps(data, sort_keys=True).encode()
-        tree[str(path.relative_to(directory))] = raw
-    return tree
+    return {
+        str(path.relative_to(directory)): path.read_bytes()
+        for path in sorted(Path(directory).rglob("*.json"))
+    }
 
 
 class TestCheckpointing:

@@ -17,11 +17,16 @@ def tiny_scale():
 def test_generate_report_covers_every_artifact(tiny_scale):
     lines = []
     report = generate_report(scale=tiny_scale, progress=lines.append)
-    # Every experiment announced progress and produced a section.
+    # Every experiment announced progress (including its timing, which
+    # must stay out of the report body) and produced a section.
     for name in ("table1", "table2", "fig1", "table3", "fig4", "fig5",
                  "fig6", "table4", "fig7"):
         assert any(name in line for line in lines), name
-        assert f"[{name}:" in report
+        assert any(line.startswith(f"{name} done in")
+                   for line in lines), name
+        assert f"[{name}]" in report
+    # No wall-clock timing leaks into the deterministic report text.
+    assert "done in" not in report
     # The headline artifacts render their key content.
     assert "winners matching paper" in report
     assert "geomean" in report

@@ -1,0 +1,34 @@
+"""Seeded clock-domain violations, in both mixing directions.
+
+Control time is counted in scheduler *ticks*; simulated time is
+counted in virtual DES *seconds*.  Adding, subtracting, or comparing
+across the two is always a unit bug.
+"""
+
+
+def mix_in_arithmetic(warmup_ticks, window_s):
+    # CLOCK-MIX: control ticks added to virtual seconds.
+    return warmup_ticks + window_s
+
+
+def mix_in_comparison(elapsed_s, max_ticks):
+    # CLOCK-MIX: virtual seconds compared against a tick budget.
+    return elapsed_s > max_ticks
+
+
+def advance_clock(sim_time_s):
+    return sim_time_s
+
+
+def run_beats(n_beats):
+    return n_beats
+
+
+def call_seconds_with_ticks(budget_ticks):
+    # CLOCK-CALL: a tick count passed where seconds are declared.
+    return advance_clock(budget_ticks)
+
+
+def call_ticks_with_seconds(horizon_s):
+    # CLOCK-CALL: virtual seconds passed where beats are declared.
+    return run_beats(horizon_s)

@@ -1,0 +1,36 @@
+"""Seeded violations that travel through container mutation.
+
+The taint never flows through a return value: a helper mutates a list
+the caller owns, so only mutation-aware summaries catch it.
+"""
+
+import random
+import threading
+
+
+def collect_samples(out):
+    # Mutates the caller's list with a global-RNG draw.
+    out.append(random.random())
+
+
+def checksum_samples():
+    samples = []
+    collect_samples(samples)
+    # FLOW-GLOBAL-RNG: the tainted container feeds the checksum.
+    return artifact_sha256(samples)
+
+
+def dump_pu_names(pu_classes):
+    names = set(pu_classes)
+    lines = []
+    for name in names:
+        # Position in `lines` depends on set iteration order.
+        lines.append(name)
+    # FLOW-UNORDERED-ITER: unordered iteration order is serialized.
+    atomic_write_text("pus.txt", "\n".join(lines))
+
+
+def save_worker_state(state):
+    state["worker"] = threading.get_ident()
+    # FLOW-THREAD-ID: thread identity lands in a saved artifact.
+    save(state)

@@ -1,0 +1,33 @@
+"""Seeded interprocedural flow violations.
+
+Nondeterminism enters in one function and only reaches a sink two
+call-hops later - a per-function linter cannot see these; the
+summary-based flow analysis must.
+"""
+
+import os
+import time
+
+
+def read_clock():
+    # Source: the wall-clock value itself, not a deadline.
+    return time.perf_counter()
+
+
+def wrap_measurement():
+    # One hop: taint flows through a return value.
+    return {"elapsed": read_clock()}
+
+
+def persist(path):
+    # Sink, two hops from the source: FLOW-WALL-CLOCK.
+    write_json_report(path, wrap_measurement())
+
+
+def engine_choice():
+    return os.getenv("REPRO_ENGINE", "des")
+
+
+def record_trace(sink):
+    # Constructor sink one hop from an env read: FLOW-ENV-READ.
+    sink.append(TraceEvent(name=engine_choice(), ts=0))

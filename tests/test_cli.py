@@ -47,13 +47,13 @@ class TestProfile:
         assert table.platform == "jetson_orin_nano"
 
     def test_unknown_platform_structured_error(self, capsys):
-        assert main(["profile", "--platform", "iphone15"]) == 1
+        assert main(["profile", "--platform", "iphone15"]) == 2
         err = json.loads(capsys.readouterr().err)
         assert err["error"] == "PlatformError"
         assert "iphone15" in err["message"]
 
     def test_unknown_app_structured_error(self, capsys):
-        assert main(["profile", "--app", "resnet"]) == 1
+        assert main(["profile", "--app", "resnet"]) == 2
         err = json.loads(capsys.readouterr().err)
         assert err["error"] == "ReproError"
         assert "resnet" in err["message"]
@@ -161,7 +161,7 @@ class TestRun:
     def test_resume_missing_session_structured_error(self, capsys,
                                                      tmp_path):
         code = main(self.ARGS + ["--resume", str(tmp_path / "nope")])
-        assert code == 1
+        assert code == 2
         err = json.loads(capsys.readouterr().err)
         assert err["error"] == "CampaignError"
         assert "no session manifest" in err["message"]
@@ -171,7 +171,7 @@ class TestRun:
         assert main(self.ARGS + ["--session", str(session)]) == 0
         capsys.readouterr()
         changed = [arg if arg != "2" else "3" for arg in self.ARGS]
-        assert main(changed + ["--session", str(session)]) == 1
+        assert main(changed + ["--session", str(session)]) == 2
         err = json.loads(capsys.readouterr().err)
         assert err["error"] == "CampaignError"
         assert "repetitions" in err["message"]
@@ -256,7 +256,7 @@ class TestServe:
         assert "tenant tenant-gpu:" in out
 
     def test_too_few_windows_structured_error(self, capsys):
-        assert main(["serve", "--windows", "4"]) == 1
+        assert main(["serve", "--windows", "4"]) == 2
         err = json.loads(capsys.readouterr().err)
         assert err["error"] == "ServeError"
         assert "8 windows" in err["message"]
@@ -352,7 +352,7 @@ class TestFleet:
         assert counters["breaker.transitions"] >= 3
 
     def test_scenario_validation_is_structured(self, capsys):
-        assert main(["fleet", "--shards", "2"]) == 1
+        assert main(["fleet", "--shards", "2"]) == 2
         err = json.loads(capsys.readouterr().err)
         assert err["error"] == "FleetError"
         assert "4" in err["message"]
