@@ -290,7 +290,7 @@ SINK_CALLS: Dict[str, Tuple[str, Optional[int]]] = {
 SINK_CONSTRUCTORS: FrozenSet[str] = frozenset({
     "FleetReport", "ServeReport", "SessionReport", "FaultReport",
     "MemoryReport", "EnergyReport", "SoakScenario", "FleetSoakScenario",
-    "SimulatedRunResult", "TraceEvent",
+    "SimulatedRunResult", "TraceEvent", "TrafficReport", "TrafficTrace",
 })
 
 

@@ -32,7 +32,10 @@ from repro.apps.stereo_app import (
     build_stereo_application,
     synthetic_stereo_pair,
 )
-from repro.apps.synthetic import build_synthetic_application
+from repro.apps.synthetic import (
+    build_bandwidth_bound_application,
+    build_synthetic_application,
+)
 
 #: Paper evaluation order first; extension workloads after.
 APPLICATION_BUILDERS = {
@@ -51,6 +54,7 @@ __all__ = [
     "DEFAULT_SPARSITY",
     "build_alexnet_dense",
     "build_alexnet_sparse",
+    "build_bandwidth_bound_application",
     "build_octree_application",
     "build_stereo_application",
     "build_synthetic_application",

@@ -123,3 +123,63 @@ def build_synthetic_application(
                     f"{heterogeneity:.2f})",
         input_kind="Synthetic",
     )
+
+
+def build_bandwidth_bound_application(
+    seed: int,
+    stage_count: int = 3,
+    flops_per_byte: float = 0.5,
+    mean_flops: float = 20e6,
+) -> Application:
+    """Generate a DRAM-saturating streaming pipeline.
+
+    Every stage moves far more bytes than it computes
+    (``flops_per_byte`` well under the roofline ridge), so a single
+    instance draws a large share of the SoC's memory bandwidth.  One
+    or two co-located instances fit under the DRAM ceiling; packing
+    more pushes the *sum* of demands past it, and the fair-share
+    memory controller then collapses everyone's memory-bound phase at
+    once.  This is the workload class that makes overload superlinear
+    - and interference-aware admission control observably better than
+    admit-everything - so the traffic layer mixes it into its tenant
+    population.
+    """
+    if stage_count < 1:
+        raise KernelError("stage_count must be >= 1")
+    if flops_per_byte <= 0.0:
+        raise KernelError("flops_per_byte must be positive")
+
+    def kernel(task):
+        task["payload"] += np.float32(1.0)
+
+    rng = np.random.default_rng(700_000 + seed)
+    stages: List[Stage] = []
+    for index in range(stage_count):
+        flops = mean_flops * float(rng.uniform(0.85, 1.15))
+        stages.append(Stage(
+            name=f"copy-{index}",
+            work=WorkProfile(
+                flops=flops,
+                bytes_moved=flops / flops_per_byte,
+                parallelism=2e5,
+                parallel_fraction=0.98,
+                divergence=0.05,
+                irregularity=0.10,
+                cpu_efficiency=0.45,
+                gpu_efficiency=0.30,
+            ),
+            kernels={CPU: kernel, GPU: kernel},
+        ))
+
+    def make_task(task_seed: int) -> Dict[str, np.ndarray]:
+        task_rng = np.random.default_rng(800_000 + task_seed)
+        return {"payload": task_rng.random(256).astype(np.float32)}
+
+    return Application(
+        name=f"bwbound-{seed}-n{stage_count}",
+        stages=stages,
+        make_task=make_task,
+        description=f"Bandwidth-bound pipeline ({flops_per_byte:.2f} "
+                    "flop/byte)",
+        input_kind="Synthetic",
+    )

@@ -15,6 +15,8 @@ Commands:
 * ``gantt``                    - render the deployed pipeline's Gantt chart
 * ``faultsim``                 - inject faults, exercise recovery, report
 * ``serve``                    - boot the multi-tenant serving soak scenario
+* ``fleet``                    - run the fleet soak: shards under seeded chaos
+* ``traffic``                  - open-loop workload generation / replay / overload soak
 * ``trace``                    - traced run, Perfetto/Chrome or Gantt export
 * ``submit``                   - submit one job to a fresh server, report admission
 * ``lint``                     - static invariant linter over the tree
@@ -567,6 +569,153 @@ def cmd_fleet(args: argparse.Namespace) -> int:
     return 0
 
 
+def _print_traffic_report(report, sink: _TextSink) -> None:
+    """Human-readable summary of one open-loop traffic run."""
+    sink.line(f"open-loop run: {report.arrivals} arrivals over "
+              f"{report.ticks} ticks on {report.n_shards} shard(s) "
+              f"(seed {report.seed})")
+    sink.line(f"windows: offered={report.offered_windows} "
+              f"served={report.served_windows} "
+              f"goodput={report.goodput_windows} "
+              f"(goodput tasks={report.goodput_tasks})")
+    sink.line(f"tenants: admitted={report.admitted} "
+              f"rejected={report.rejected} "
+              f"completed={report.completed}")
+    sink.line()
+    sink.line("tiers:")
+    for name in sorted(report.tiers):
+        tier = report.tiers[name].to_dict()
+        sink.line(f"  {name:8s} slo<=x{tier['slo_slowdown']:<5} "
+                  f"served={tier['served_windows']:<4} "
+                  f"attainment={tier['attainment']} "
+                  f"p99=x{tier['p99_slowdown']}")
+    if report.recoveries:
+        sink.line()
+        sink.line("burst recovery:")
+        for recovery in report.recoveries:
+            r = recovery.to_dict()
+            sink.line(f"  burst [{r['start_tick']}, {r['end_tick']}): "
+                      f"backlog {r['pre_burst_backlog']} -> peak "
+                      f"{r['peak_backlog']}, recovered in "
+                      f"{r['recovery_ticks']} tick(s)")
+
+
+def cmd_traffic(args: argparse.Namespace) -> int:
+    """Open-loop traffic: ``generate``, ``replay``, or ``soak``.
+
+    All three modes run the seeded :class:`FleetOverloadScenario` -
+    the same scenario the acceptance tests and the CI ``traffic-soak``
+    job byte-diff:
+
+    * ``generate`` materializes the arrival stream (a pure function of
+      spec and seed) and optionally freezes it into a checksummed
+      trace artifact (``--trace-out``);
+    * ``replay`` re-runs a frozen trace through the fleet - replaying
+      a recorded trace reproduces the recorded run byte-identically;
+    * ``soak`` generates and drives in one step; ``--compare`` also
+      runs the admit-everything baseline and exits 1 unless admission
+      control strictly wins on goodput (the overload gate CI asserts).
+    """
+    from repro.traffic import (
+        FleetOverloadScenario,
+        TrafficTrace,
+        overload_curve,
+        run_overload_soak,
+    )
+
+    scenario = FleetOverloadScenario(
+        seed=args.seed,
+        n_shards=args.shards,
+        ticks=args.ticks,
+        load_multiplier=args.multiplier,
+    )
+    sink = _TextSink(json_mode=args.json)
+    admission = not args.no_admission
+
+    if args.mode == "generate":
+        trace = TrafficTrace.record(scenario.spec(), scenario.seed)
+        by_tier: dict = {}
+        by_kind: dict = {}
+        for event in trace.events:
+            by_tier[event.tier] = by_tier.get(event.tier, 0) + 1
+            by_kind[event.app_kind] = by_kind.get(event.app_kind, 0) + 1
+        payload = {
+            "seed": trace.seed,
+            "ticks": trace.spec.ticks,
+            "arrivals": len(trace.events),
+            "offered_windows": trace.offered_windows(),
+            "by_tier": {k: by_tier[k] for k in sorted(by_tier)},
+            "by_app_kind": {k: by_kind[k] for k in sorted(by_kind)},
+        }
+        sink.line(f"generated {payload['arrivals']} arrivals "
+                  f"({payload['offered_windows']} windows) over "
+                  f"{trace.spec.ticks} ticks (seed {trace.seed})")
+        sink.line(f"  tiers: {payload['by_tier']}")
+        sink.line(f"  app kinds: {payload['by_app_kind']}")
+        if args.trace_out:
+            trace.save(args.trace_out)
+            sink.note(f"traffic trace saved to {args.trace_out}")
+        if args.json:
+            print(json.dumps(payload, indent=2))
+        if args.out:
+            write_json_report(args.out, payload)
+            sink.note(f"generation summary saved to {args.out}")
+        return 0
+
+    if args.mode == "replay":
+        if not args.trace:
+            raise ReproError("replay needs --trace <recorded trace>")
+        trace = TrafficTrace.load(args.trace)
+        _, report = run_overload_soak(scenario, admission=admission,
+                                      trace=trace)
+        payload = report.to_dict()
+        sink.line(f"replayed {args.trace} "
+                  f"(admission {'on' if admission else 'off'})")
+        sink.line()
+    else:  # soak
+        if args.trace_out:
+            trace = TrafficTrace.record(scenario.spec(), scenario.seed)
+            trace.save(args.trace_out)
+            sink.note(f"traffic trace saved to {args.trace_out}")
+        _, report = run_overload_soak(scenario, admission=admission)
+        payload = report.to_dict()
+
+    _print_traffic_report(report, sink)
+    exit_code = 0
+
+    if args.mode == "soak" and args.compare:
+        _, baseline = run_overload_soak(scenario, admission=False)
+        payload["admit_everything"] = baseline.to_dict()
+        gate = report.goodput_tasks > baseline.goodput_tasks
+        sink.line()
+        sink.line(f"admission gate: goodput {report.goodput_tasks} "
+                  f"(admission on) vs {baseline.goodput_tasks} "
+                  f"(admit everything) -> "
+                  f"{'PASS' if gate else 'FAIL'}")
+        if not gate:
+            sink.note("admission control did not beat admit-"
+                      "everything on goodput")
+            exit_code = 1
+
+    if args.mode == "soak" and args.curve:
+        points = overload_curve(scenario, admission=admission)
+        payload["curve"] = points
+        sink.line()
+        sink.line("goodput vs offered load:")
+        for point in points:
+            sink.line(f"  x{point['load_multiplier']:<4} "
+                      f"offered={point['offered_windows']:<5} "
+                      f"served={point['served_windows']:<5} "
+                      f"goodput_tasks={point['goodput_tasks']}")
+
+    if args.json:
+        print(json.dumps(payload, indent=2))
+    if args.out:
+        write_json_report(args.out, payload)
+        sink.note(f"traffic report saved to {args.out}")
+    return exit_code
+
+
 def cmd_trace(args: argparse.Namespace) -> int:
     """Run a flow under observability capture and export its trace.
 
@@ -941,6 +1090,44 @@ def build_parser() -> argparse.ArgumentParser:
                    help="wall-clock drain deadline")
     p.add_argument("--out", help="save the fleet report as JSON")
     p.set_defaults(fn=cmd_fleet)
+
+    p = sub.add_parser("traffic",
+                       help="open-loop workload generation, trace "
+                            "replay, and overload soak (deterministic)")
+    p.add_argument("mode", choices=("generate", "replay", "soak"),
+                   help="generate an arrival stream, replay a recorded "
+                        "trace, or run the overload soak end to end")
+    p.add_argument("--seed", type=int, default=7,
+                   help="scenario seed (same seed, same bytes)")
+    p.add_argument("--shards", type=int, default=2,
+                   help="number of SoC shards behind the router")
+    p.add_argument("--ticks", type=int, default=48,
+                   help="open-loop horizon in control ticks")
+    p.add_argument("--multiplier", type=float, default=1.5,
+                   help="offered load as a multiple of the fleet's "
+                        "saturation load (>= 1.5 is the overload "
+                        "regime)")
+    p.add_argument("--no-admission", action="store_true",
+                   help="admit everything that physically fits (the "
+                        "baseline the goodput gate is measured "
+                        "against)")
+    p.add_argument("--compare", action="store_true",
+                   help="(soak) also run the admit-everything "
+                        "baseline; exit 1 unless admission control "
+                        "strictly wins on goodput")
+    p.add_argument("--curve", action="store_true",
+                   help="(soak) sweep goodput vs offered load over "
+                        "0.5x/1x/1.5x/2x saturation")
+    p.add_argument("--trace", default=None,
+                   help="(replay) recorded traffic trace to replay")
+    p.add_argument("--trace-out",
+                   help="record the arrival stream as a checksummed "
+                        "traffic trace artifact")
+    p.add_argument("--json", action="store_true",
+                   help="print the traffic report as JSON on stdout "
+                        "(suppresses all human-readable output)")
+    p.add_argument("--out", help="save the traffic report as JSON")
+    p.set_defaults(fn=cmd_traffic)
 
     p = sub.add_parser("trace",
                        help="run a traced flow, export Perfetto/Chrome "

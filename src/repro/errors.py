@@ -87,6 +87,11 @@ class FleetError(ReproError):
     errors."""
 
 
+class TrafficError(ReproError):
+    """Raised by the workload layer (:mod:`repro.traffic`) for invalid
+    traffic specs, malformed traces, and open-loop driver misuse."""
+
+
 class AnalysisError(ReproError):
     """Raised when the correctness tooling (``repro lint`` /
     ``repro race``) is misused: missing lint targets, unparseable

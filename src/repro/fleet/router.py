@@ -97,6 +97,10 @@ class FleetConfig:
     max_ticks: int = 128
     max_impact_ratio: float = 2.5
     max_partition_classes: Optional[int] = 1
+    #: Passed through to each shard's admission controller: price the
+    #: impact ceiling against incumbents' total predicted slowdown
+    #: instead of the newcomer's increment alone.
+    cumulative_impact: bool = False
     reschedule: bool = True
     profiling_repetitions: int = 3
     candidates_k: int = 8
@@ -126,6 +130,7 @@ class FleetConfig:
             queue_capacity=0,
             max_impact_ratio=self.max_impact_ratio,
             max_partition_classes=self.max_partition_classes,
+            cumulative_impact=self.cumulative_impact,
             reschedule=self.reschedule,
             profiling_repetitions=self.profiling_repetitions,
             candidates_k=self.candidates_k,
@@ -214,7 +219,13 @@ class FleetRouter:
         self._done = threading.Event()
         self._stop_requested = threading.Event()
         self._started = False
+        self._stepping = False
         self._loop_error: Optional[str] = None
+        #: Served-window measurements harvested from the shards, in
+        #: harvest order - the open-loop traffic driver's feed.  Kept
+        #: out of the fleet timeline so the serialized report does not
+        #: balloon with one entry per window.
+        self.window_log: List[Dict[str, object]] = []
 
     # ------------------------------------------------------------------
     # Client surface
@@ -282,6 +293,48 @@ class FleetRouter:
         """Convenience: :meth:`start` + :meth:`drain`."""
         self.start()
         return self.drain(timeout_s)
+
+    # ------------------------------------------------------------------
+    # Step mode (mirrors PipelineServer.open_stepped/step/close_stepped)
+    # ------------------------------------------------------------------
+    def open_stepped(self) -> None:
+        """Boot the shards for caller-driven ticking: no loop thread,
+        no watchdog - the caller owns the clock and calls :meth:`step`.
+        This is the open-loop traffic driver's entry point: submissions
+        may keep arriving between ticks, whether or not the fleet is
+        keeping up."""
+        if self._started:
+            raise FleetError("fleet already started")
+        self._started = True
+        self._stepping = True
+        reg = metrics()
+        if reg.enabled:
+            for shard in self.shards:
+                reg.gauge(f"fleet.shard_state.{shard.name}",
+                          float(SHARD_STATE_CODES[HEALTHY]))
+        for shard in self.shards:
+            shard.boot()
+
+    def step(self, tick: int) -> bool:
+        """Execute one fleet tick; returns True when the fleet is
+        drained (empty inbox, every tenant terminal)."""
+        if not self._stepping:
+            raise FleetError("fleet is not in step mode")
+        self._tick(tick)
+        self.ticks_executed += 1
+        return self._drained()
+
+    def close_stepped(self, detail: Optional[str] = None) -> FleetReport:
+        """End a stepped run: settle non-terminal tenants, close the
+        shards, and return the report."""
+        if not self._stepping:
+            raise FleetError("fleet is not in step mode")
+        if detail is not None:
+            self._loop_error = detail
+        self._stepping = False
+        self._close_out()
+        self._done.set()
+        return self.report()
 
     def report(self) -> FleetReport:
         """The (deterministic) fleet report for the run so far."""
@@ -527,8 +580,18 @@ class FleetRouter:
         """Record a successful :meth:`try_admit` in fleet state."""
         tenant.place(shard.name)
         tenant.status_detail = detail or f"placed on {shard.name}"
+        # The plan's isolated prediction for the schedule the shard
+        # actually deployed: the contention-free reference latency the
+        # SLO layer divides measured windows by.  Zero when the caller
+        # committed without a preceding try_admit (unit tests do).
+        isolated = 0.0
+        record = shard.server.records.get(tenant.name)
+        if (record is not None and record.plan is not None
+                and record.schedule is not None):
+            isolated = record.plan.isolated_prediction(record.schedule)
         self._event(tick, kind, tenant=tenant.name, shard=shard.name,
                     windows_remaining=tenant.windows_remaining,
+                    isolated_s=round(isolated, 9),
                     **({"detail": detail} if detail else {}))
 
     def record_failover(self, shard: SoCShard, tick: int, cause: str,
@@ -623,6 +686,20 @@ class FleetRouter:
             )
             self._shard_windows[shard.name] += 1
             self.monitor.note_window(shard.name, name, latency)
+            # The contention-free reference for *this* window: the
+            # isolated prediction of the schedule currently deployed
+            # (placement events go stale once the shard's online
+            # rescheduler switches schedules mid-residency).
+            isolated = 0.0
+            record = shard.server.records.get(name)
+            if (record is not None and record.plan is not None
+                    and record.schedule is not None):
+                isolated = record.plan.isolated_prediction(
+                    record.schedule)
+            self.window_log.append({
+                "tick": tick, "tenant": name, "shard": shard.name,
+                "latency_s": latency, "isolated_s": isolated,
+            })
         elif kind == "complete":
             tenant.status = COMPLETED
             tenant.shard = None

@@ -20,6 +20,7 @@ from repro.serve.admission import (
 from repro.serve.metrics import (
     ServeReport,
     TenantMetrics,
+    attainment,
     fleet_p95,
     merge_latencies,
     percentile,
@@ -85,6 +86,7 @@ __all__ = [
     "TenantRecord",
     "TenantSpec",
     "WindowResult",
+    "attainment",
     "build_soak_server",
     "fleet_p95",
     "merge_latencies",

@@ -66,6 +66,14 @@ class AdmissionController:
         max_partition_classes: Optional cap on how many PU classes one
             tenant may own - the multi-tenant fairness knob that keeps
             a single job from claiming the whole SoC.
+        cumulative_impact: When True, the impact ceiling prices each
+            incumbent's *total* predicted slowdown once the newcomer
+            lands - PU classes already busied by other co-tenants
+            count, not just the newcomer's increment.  Successive
+            admissions therefore accumulate toward the ceiling, which
+            bounds the worst-case slowdown any incumbent can ever be
+            packed into.  The default (False) prices only the
+            newcomer's own increment, the historical behaviour.
     """
 
     def __init__(
@@ -75,6 +83,7 @@ class AdmissionController:
         queue_capacity: int = 4,
         max_impact_ratio: float = 1.35,
         max_partition_classes: Optional[int] = None,
+        cumulative_impact: bool = False,
     ):
         if queue_capacity < 0:
             raise ServeError("queue_capacity must be >= 0")
@@ -87,6 +96,7 @@ class AdmissionController:
         self.queue_capacity = queue_capacity
         self.max_impact_ratio = max_impact_ratio
         self.max_partition_classes = max_partition_classes
+        self.cumulative_impact = cumulative_impact
         self._schedulable = frozenset(platform.schedulable_classes())
 
     # ------------------------------------------------------------------
@@ -199,8 +209,16 @@ class AdmissionController:
         other PU saturated; admitting a job that occupies a fraction
         ``x`` of the co-tenant's "other" PUs is modelled as moving its
         latency ``x`` of the way from isolated to interference-heavy.
+
+        In cumulative mode the fraction counts every class that will
+        be busy after the admission (incumbents included), so the
+        ratio is the co-tenant's predicted total slowdown, not just
+        this newcomer's marginal contribution.
         """
-        newly_busy = set(candidate.schedule.pu_classes_used)
+        busy_after = set(candidate.schedule.pu_classes_used)
+        if self.cumulative_impact:
+            for record in running.values():
+                busy_after |= set(record.partition)
         impact: Dict[str, float] = {}
         for name, record in running.items():
             if record.plan is None or record.schedule is None:
@@ -209,7 +227,7 @@ class AdmissionController:
             if not others:
                 impact[name] = 1.0
                 continue
-            fraction = len(newly_busy & others) / len(others)
+            fraction = len(busy_after & others) / len(others)
             span = record.plan.contention_span(record.schedule)
             impact[name] = 1.0 + fraction * (span - 1.0)
         return impact

@@ -36,6 +36,24 @@ def percentile(samples: Sequence[float], q: float) -> float:
     return ordered[low] * (1.0 - weight) + ordered[high] * weight
 
 
+def attainment(samples: Sequence[float], slo: float) -> float:
+    """Fraction of samples meeting an SLO threshold, in [0, 1].
+
+    A sample *attains* when it is at or under the threshold - the
+    boundary counts as met, matching how latency SLOs are stated
+    ("p95 <= 40 ms").  Raises on an empty sample set (a tenant with no
+    served windows has no attainment, and silently reporting 0.0 or
+    1.0 would each mislead in a different direction) and on a
+    non-positive threshold.
+    """
+    if not samples:
+        raise ServeError("attainment of an empty sample set")
+    if slo <= 0.0:
+        raise ServeError(f"SLO threshold must be positive, got {slo}")
+    met = sum(1 for sample in samples if sample <= slo)
+    return met / len(samples)
+
+
 @dataclass(frozen=True)
 class TenantMetrics:
     """Latency summary of one tenant's served windows."""

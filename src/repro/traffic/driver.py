@@ -1,0 +1,206 @@
+"""The open-loop driver: offered load meets the fleet, tick by tick.
+
+Closed-loop harnesses (the scripted soaks) only submit what the system
+can absorb, so overload behaviour - admission queues filling, age-out,
+backlog rejections, goodput collapse - is never exercised.  This
+driver is open-loop: each control tick it submits *every* arrival the
+workload source scheduled for that tick, whether or not the fleet kept
+up, then advances the fleet one step and harvests what was actually
+served.
+
+The workload source is anything with an ``events()`` stream of
+:class:`~repro.traffic.generator.ArrivalEvent` - a live
+:class:`~repro.traffic.generator.TrafficGenerator` or a frozen
+:class:`~repro.traffic.trace.TrafficTrace` - so recorded and replayed
+runs share one code path (the replay-equals-record guarantee).
+
+Per served window the driver computes the *slowdown*: measured window
+latency over the tenant's contention-free reference (the deployed
+schedule's isolated prediction, attached to fleet placement events).
+Slowdown isolates what admission control actually governs - contention
+- from placement narrowness, so SLO attainment compares fairly across
+admission policies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.synthetic import (
+    build_bandwidth_bound_application,
+    build_synthetic_application,
+)
+from repro.errors import TrafficError
+from repro.fleet.router import FleetRouter
+from repro.fleet.metrics import FleetReport
+from repro.obs.metrics import metrics
+from repro.obs.tracer import tracer
+from repro.serve.scenario import _memory_bound_application
+from repro.serve.tenant import PENDING, TenantSpec
+from repro.traffic.generator import (
+    BANDWIDTH_BOUND,
+    MEMORY_BOUND,
+    SYNTHETIC,
+    ArrivalEvent,
+)
+
+
+def materialize(event: ArrivalEvent, stage_count: int) -> TenantSpec:
+    """Build the concrete tenant spec an arrival event describes."""
+    if event.app_kind == SYNTHETIC:
+        application = build_synthetic_application(
+            seed=event.app_seed, stage_count=stage_count,
+        )
+    elif event.app_kind == MEMORY_BOUND:
+        application = _memory_bound_application(
+            event.app_seed, stage_count,
+        )
+    elif event.app_kind == BANDWIDTH_BOUND:
+        application = build_bandwidth_bound_application(
+            seed=event.app_seed, stage_count=stage_count,
+        )
+    else:
+        raise TrafficError(
+            f"unknown application kind {event.app_kind!r}"
+        )
+    return TenantSpec(
+        name=event.name,
+        application=application,
+        priority=event.priority,
+        windows=event.windows,
+        window_tasks=event.window_tasks,
+    )
+
+
+@dataclass(frozen=True)
+class WindowSample:
+    """One served window, tagged for SLO evaluation."""
+
+    tick: int
+    tenant: str
+    tier: str
+    shard: str
+    latency_s: float
+    slowdown: float
+
+
+@dataclass
+class TrafficRunResult:
+    """Everything one open-loop run produced, pre-aggregation."""
+
+    ticks: int
+    fleet_report: Optional[FleetReport] = None
+    arrivals: Dict[str, ArrivalEvent] = field(default_factory=dict)
+    samples: List[WindowSample] = field(default_factory=list)
+    #: Per-tick trajectory: arrivals, served windows, SLO-attaining
+    #: window-tasks (goodput), and fleet backlog depth.
+    per_tick: List[Dict[str, object]] = field(default_factory=list)
+
+
+class OpenLoopDriver:
+    """Feed a workload stream into a fleet's step mode."""
+
+    def __init__(
+        self,
+        router: FleetRouter,
+        events: Sequence[ArrivalEvent],
+        ticks: int,
+        stage_count: int = 3,
+        slo_by_tier: Optional[Dict[str, float]] = None,
+    ):
+        if ticks < 1:
+            raise TrafficError("driver needs at least one tick")
+        self.router = router
+        self.ticks = ticks
+        self.stage_count = stage_count
+        #: tier name -> largest attaining slowdown (for the per-tick
+        #: goodput trajectory; the full report recomputes from samples).
+        self.slo_by_tier = dict(slo_by_tier or {})
+        self._by_tick: Dict[int, List[ArrivalEvent]] = {}
+        for event in events:
+            if event.tick >= ticks:
+                continue
+            self._by_tick.setdefault(event.tick, []).append(event)
+
+    def run(self) -> TrafficRunResult:
+        """Drive the fleet over the horizon and harvest the outcome."""
+        router = self.router
+        router.open_stepped()
+        result = TrafficRunResult(ticks=self.ticks)
+        window_cursor = 0
+        reg = metrics()
+        trc = tracer()
+        try:
+            for tick in range(self.ticks):
+                arrivals = self._by_tick.get(tick, ())
+                for event in arrivals:
+                    router.submit(materialize(event, self.stage_count))
+                    result.arrivals[event.name] = event
+                    if reg.enabled:
+                        reg.counter("traffic.arrivals")
+                        reg.counter("traffic.offered_windows",
+                                    event.windows)
+                    if trc.enabled:
+                        trc.instant(
+                            "traffic.arrival", "traffic",
+                            track=f"tier:{event.tier}", tick=tick,
+                            tenant=event.name, windows=event.windows,
+                        )
+                router.step(tick)
+
+                served = 0
+                goodput_tasks = 0
+                while window_cursor < len(router.window_log):
+                    entry = router.window_log[window_cursor]
+                    window_cursor += 1
+                    name = str(entry["tenant"])
+                    arrival = result.arrivals[name]
+                    reference = float(entry["isolated_s"])  # type: ignore[arg-type]
+                    latency = float(entry["latency_s"])  # type: ignore[arg-type]
+                    slowdown = (latency / reference
+                                if reference > 0.0 else 0.0)
+                    sample = WindowSample(
+                        tick=int(entry["tick"]),  # type: ignore[arg-type]
+                        tenant=name,
+                        tier=arrival.tier,
+                        shard=str(entry["shard"]),
+                        latency_s=latency,
+                        slowdown=slowdown,
+                    )
+                    result.samples.append(sample)
+                    served += 1
+                    slo = self.slo_by_tier.get(arrival.tier)
+                    attained = (slo is not None and slowdown > 0.0
+                                and slowdown <= slo)
+                    if attained:
+                        goodput_tasks += arrival.window_tasks
+                    if reg.enabled:
+                        reg.counter("traffic.served_windows")
+                        if attained:
+                            reg.counter("traffic.goodput_tasks",
+                                        arrival.window_tasks)
+                        reg.observe(
+                            f"traffic.slowdown.{arrival.tier}",
+                            slowdown,
+                        )
+                backlog = sum(
+                    1 for tenant in router.tenants.values()
+                    if tenant.status == PENDING
+                )
+                if reg.enabled:
+                    reg.gauge("traffic.backlog_depth", float(backlog))
+                result.per_tick.append({
+                    "tick": tick,
+                    "arrivals": len(arrivals),
+                    "served_windows": served,
+                    "goodput_tasks": goodput_tasks,
+                    "backlog": backlog,
+                })
+        finally:
+            # The detail only lands on tenants still non-terminal at
+            # close; a drained fleet ignores it.
+            result.fleet_report = router.close_stepped(
+                detail="open-loop horizon reached with work in flight"
+            )
+        return result

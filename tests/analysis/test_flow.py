@@ -282,6 +282,9 @@ class TestFixtures:
         assert sorted(by_file["bad_cross_function.py"]) == [
             "FLOW-ENV-READ", "FLOW-WALL-CLOCK",
         ]
+        assert sorted(by_file["bad_traffic.py"]) == [
+            "CLOCK-MIX", "FLOW-GLOBAL-RNG",
+        ]
         assert sorted(by_file["suppressed.py"]) == [
             "BAD-SUPPRESSION", "FLOW-WALL-CLOCK",
         ]
@@ -298,7 +301,7 @@ class TestFixtures:
     def test_report_shape(self, report):
         data = report.to_dict()
         assert data["tool"] == "repro-flow"
-        assert data["files_checked"] == 5
+        assert data["files_checked"] == 6
         assert not data["clean"]
         assert sum(data["counts"].values()) == len(report.findings)
 
@@ -339,7 +342,7 @@ class TestCli:
         assert main(["flow", str(FIXTURES), "--format", "json"]) == 0
         data = json.loads(capsys.readouterr().out)
         assert data["tool"] == "repro-flow"
-        assert data["counts"]["CLOCK-MIX"] == 2
+        assert data["counts"]["CLOCK-MIX"] == 3
         assert {r["rule"] for r in data["rules"]} == set(ALL_FLOW_RULES)
 
     def test_list_rules(self, capsys):

@@ -124,6 +124,82 @@ class TestSmallFleetRun:
         assert "tick budget exhausted" in tenant.status_detail
 
 
+class TestStepMode:
+    def test_stepped_run_matches_threaded_run(self):
+        def build():
+            router = FleetRouter(_two_shards(),
+                                 config=FleetConfig(max_ticks=32))
+            for i in range(3):
+                router.submit(_spec(f"t{i}", seed=11 + i))
+            return router
+
+        threaded = build().run(timeout_s=TIMEOUT_S)
+
+        stepped = build()
+        stepped.open_stepped()
+        for tick in range(stepped.config.max_ticks):
+            if stepped.step(tick):
+                break
+        report = stepped.close_stepped()
+        assert report.to_dict() == threaded.to_dict()
+
+    def test_step_requires_open_stepped(self):
+        router = FleetRouter(_two_shards())
+        with pytest.raises(FleetError, match="not in step mode"):
+            router.step(0)
+        with pytest.raises(FleetError, match="not in step mode"):
+            router.close_stepped()
+
+    def test_open_stepped_conflicts_with_start(self):
+        router = FleetRouter([ShardSpec("s0")],
+                             config=FleetConfig(max_ticks=2))
+        router.open_stepped()
+        try:
+            with pytest.raises(FleetError, match="already started"):
+                router.start()
+        finally:
+            router.close_stepped()
+
+    def test_mid_run_submission_is_placed(self):
+        # Open-loop ingress: a tenant submitted after ticking began is
+        # picked up by a later placement phase.
+        router = FleetRouter(_two_shards(),
+                             config=FleetConfig(max_ticks=48))
+        router.open_stepped()
+        router.submit(_spec("early"))
+        for tick in range(4):
+            router.step(tick)
+        router.submit(_spec("late", seed=13))
+        tick = 4
+        while not router.step(tick):
+            tick += 1
+        report = router.close_stepped()
+        assert report.tenants["early"].status == "completed"
+        assert report.tenants["late"].status == "completed"
+
+    def test_close_stepped_settles_running_tenants(self):
+        router = FleetRouter([ShardSpec("s0")],
+                             config=FleetConfig(max_ticks=64))
+        router.submit(_spec("t", windows=50))
+        router.open_stepped()
+        router.step(0)
+        report = router.close_stepped(detail="driver budget spent")
+        assert report.tenants["t"].status == "failed"
+        assert "driver budget spent" in router.tenants["t"].status_detail
+
+    def test_window_log_and_isolated_reference(self):
+        router = FleetRouter(_two_shards(),
+                             config=FleetConfig(max_ticks=32))
+        router.submit(_spec("t"))
+        report = router.run(timeout_s=TIMEOUT_S)
+        assert len(router.window_log) == 2
+        for entry in router.window_log:
+            assert entry["tenant"] == "t"
+            assert entry["latency_s"] > 0.0
+        places = [e for e in report.timeline if e["event"] == "place"]
+        assert places and all(e["isolated_s"] > 0.0 for e in places)
+
+
 class TestBacklogPatience:
     def test_unplaceable_tenant_rejected_after_patience(self):
         # Both tenants insist on the single GPU of the only shard; the

@@ -170,3 +170,46 @@ class TestContention:
         )
         assert decision.action == ADMIT
         assert decision.predicted_impact["holder"] >= 1.0
+
+    def test_cumulative_impact_accumulates_across_admissions(
+        self, platform, plan_cache, plan, app
+    ):
+        """Cumulative pricing counts incumbents' busy classes, so the
+        same newcomer weighs more on a fuller SoC; incremental pricing
+        is indifferent to how packed the shard already is."""
+        sparse = PlacementMap(platform.schedulable_classes())
+        holder_a = running_tenant(sparse, plan, app, "holder", "big")
+        dense = PlacementMap(platform.schedulable_classes())
+        holder_b = running_tenant(dense, plan, app, "holder", "big")
+        other = running_tenant(dense, plan, app, "other", "medium")
+
+        def worst(ctrl, pmap, running):
+            decision = ctrl.evaluate(
+                spec(app, name="late", required_classes={"little"}),
+                pmap, running=running, queued=0,
+            )
+            assert decision.action == ADMIT
+            return decision.predicted_impact["holder"]
+
+        cumulative = controller(
+            platform, plan_cache, cumulative_impact=True,
+            max_impact_ratio=10.0,
+        )
+        incremental = controller(
+            platform, plan_cache, max_impact_ratio=10.0,
+        )
+        assert worst(cumulative, dense, {
+            "holder": holder_b, "other": other,
+        }) > worst(cumulative, sparse, {"holder": holder_a})
+        # The incremental model sees the same marginal contribution
+        # either way.
+        sparse2 = PlacementMap(platform.schedulable_classes())
+        holder_c = running_tenant(sparse2, plan, app, "holder", "big")
+        dense2 = PlacementMap(platform.schedulable_classes())
+        holder_d = running_tenant(dense2, plan, app, "holder", "big")
+        other_d = running_tenant(dense2, plan, app, "other", "medium")
+        assert worst(incremental, dense2, {
+            "holder": holder_d, "other": other_d,
+        }) == pytest.approx(
+            worst(incremental, sparse2, {"holder": holder_c})
+        )

@@ -13,6 +13,7 @@ from repro.serve import (
     TenantRecord,
     TenantSpec,
     WindowResult,
+    attainment,
     fleet_p95,
     merge_latencies,
     percentile,
@@ -65,6 +66,36 @@ class TestPercentile:
         assert percentile(samples, q) == pytest.approx(
             float(np.percentile(samples, q))
         )
+
+
+class TestAttainment:
+    def test_empty_samples_raise_structured_error(self):
+        with pytest.raises(ServeError, match="empty"):
+            attainment([], 1.0)
+        # Catchable at the API boundary like every library error.
+        with pytest.raises(ReproError):
+            attainment([], 1.0)
+
+    def test_non_positive_slo_rejected(self):
+        with pytest.raises(ServeError, match="positive"):
+            attainment([1.0], 0.0)
+        with pytest.raises(ServeError, match="positive"):
+            attainment([1.0], -2.0)
+
+    def test_all_attaining(self):
+        assert attainment([0.1, 0.2, 0.3], 0.5) == 1.0
+
+    def test_all_breaching(self):
+        assert attainment([0.6, 0.7, 0.8], 0.5) == 0.0
+
+    def test_exact_boundary_counts_as_met(self):
+        # "p95 <= 40 ms" includes 40 ms itself.
+        assert attainment([0.5], 0.5) == 1.0
+        assert attainment([0.5, 1.0], 0.5) == 0.5
+
+    def test_mixed_fraction(self):
+        samples = [0.1, 0.2, 0.3, 0.9]
+        assert attainment(samples, 0.35) == pytest.approx(0.75)
 
 
 def record_with_history(app, name="t", latencies=(), window_tasks=10,

@@ -400,3 +400,66 @@ class TestSubmit:
         out = capsys.readouterr().out
         assert "outcome: completed" in out
         assert "gpu" in out
+
+
+class TestTraffic:
+    SMALL = ["--ticks", "10", "--shards", "1", "--multiplier", "1.0"]
+
+    def test_generate_records_trace(self, capsys, tmp_path):
+        path = tmp_path / "trace.json"
+        code = main([
+            "traffic", "generate", *self.SMALL,
+            "--trace-out", str(path), "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["arrivals"] > 0
+        assert payload["offered_windows"] > 0
+        assert set(payload["by_tier"]) <= {"gold", "silver", "bronze"}
+        assert json.loads(path.read_text())["kind"] == "traffic_trace"
+
+    def test_replay_reproduces_soak_report(self, capsys, tmp_path):
+        trace = tmp_path / "trace.json"
+        live = tmp_path / "live.json"
+        replayed = tmp_path / "replayed.json"
+        assert main([
+            "traffic", "soak", *self.SMALL,
+            "--trace-out", str(trace), "--out", str(live),
+        ]) == 0
+        assert main([
+            "traffic", "replay", *self.SMALL,
+            "--trace", str(trace), "--out", str(replayed),
+        ]) == 0
+        capsys.readouterr()
+        assert live.read_bytes() == replayed.read_bytes()
+
+    def test_replay_without_trace_is_structured_error(self, capsys):
+        assert main(["traffic", "replay", *self.SMALL]) == 2
+        err = json.loads(capsys.readouterr().err)
+        assert err["error"] == "ReproError"
+        assert "--trace" in err["message"]
+
+    def test_soak_human_output(self, capsys):
+        code = main(["traffic", "soak", *self.SMALL])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "open-loop run" in out
+        assert "tiers:" in out
+
+    def test_default_soak_compare_passes_gate(self, capsys):
+        # The shipped overload scenario: admission control must
+        # strictly beat admit-everything on goodput.
+        code = main(["traffic", "soak", "--compare"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "admission gate" in out
+        assert "PASS" in out
+
+    def test_curve_sweeps_load(self, capsys):
+        code = main([
+            "traffic", "soak", *self.SMALL, "--curve", "--json",
+        ])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        multipliers = [p["load_multiplier"] for p in payload["curve"]]
+        assert multipliers == [0.5, 1.0, 1.5, 2.0]

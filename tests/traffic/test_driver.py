@@ -1,0 +1,110 @@
+"""Open-loop driver: submission, step-mode harvest, SLO tagging."""
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.obs import capture
+from repro.traffic import (
+    OpenLoopDriver,
+    TrafficGenerator,
+    materialize,
+    run_overload_soak,
+)
+from repro.traffic.generator import ArrivalEvent
+
+
+@pytest.fixture(scope="module")
+def soak(small_scenario_module):
+    return run_overload_soak(small_scenario_module, admission=True)
+
+
+@pytest.fixture(scope="module")
+def small_scenario_module():
+    # Module-scoped twin of the function-scoped conftest fixture, so
+    # the driver tests share one run.
+    from repro.traffic import FleetOverloadScenario
+
+    return FleetOverloadScenario(
+        ticks=10,
+        n_shards=1,
+        saturation_arrivals_per_tick=0.8,
+        load_multiplier=1.0,
+        burst_start_tick=3,
+        burst_end_tick=6,
+        stage_count=2,
+    )
+
+
+class TestMaterialize:
+    def test_builds_each_app_kind(self, small_spec):
+        events = TrafficGenerator(small_spec, seed=5).events()
+        kinds = set()
+        for event in events:
+            spec = materialize(event, stage_count=2)
+            assert spec.name == event.name
+            assert spec.priority == event.priority
+            assert spec.windows == event.windows
+            assert len(spec.application.stages) == 2
+            kinds.add(event.app_kind)
+        assert len(kinds) >= 2
+
+    def test_unknown_kind_rejected(self):
+        event = ArrivalEvent(
+            tick=0, name="user-0", tier="gold", priority=2,
+            windows=2, window_tasks=6, app_kind="quantum",
+            app_seed=0,
+        )
+        with pytest.raises(TrafficError, match="unknown application"):
+            materialize(event, stage_count=2)
+
+
+class TestDriverRun:
+    def test_tick_trajectory_covers_horizon(self, soak):
+        result, _ = soak
+        assert len(result.per_tick) == result.ticks
+        for tick, entry in enumerate(result.per_tick):
+            assert entry["tick"] == tick
+            assert entry["backlog"] >= 0
+
+    def test_samples_reference_recorded_arrivals(self, soak):
+        result, _ = soak
+        assert result.samples, "nothing served"
+        for sample in result.samples:
+            assert sample.tenant in result.arrivals
+            assert sample.latency_s > 0.0
+            assert sample.slowdown > 0.0
+            assert 0 <= sample.tick < result.ticks
+
+    def test_fleet_report_attached(self, soak):
+        result, report = soak
+        assert result.fleet_report is not None
+        assert result.fleet_report.n_shards == report.n_shards == 1
+
+    def test_served_never_exceeds_offered(self, soak):
+        _, report = soak
+        assert 0 < report.served_windows <= report.offered_windows
+        assert report.goodput_windows <= report.served_windows
+
+    def test_driver_validates_horizon(self, small_scenario):
+        router = small_scenario.build_fleet()
+        with pytest.raises(TrafficError, match="at least one tick"):
+            OpenLoopDriver(router, [], ticks=0)
+
+    def test_counters_balance(self, small_scenario):
+        with capture() as cap:
+            run_overload_soak(small_scenario, admission=True)
+            counters = cap.metrics.snapshot()["counters"]
+        assert counters["traffic.arrivals"] > 0
+        assert (counters["traffic.served_windows"]
+                <= counters["traffic.offered_windows"])
+
+
+class TestOpenLoopIngress:
+    def test_arrival_stream_blind_to_admission(self, small_scenario):
+        """Draw-count invariance at the system level: the offered
+        stream is identical whether the fleet admits or rejects."""
+        on_result, _ = run_overload_soak(small_scenario,
+                                         admission=True)
+        off_result, _ = run_overload_soak(small_scenario,
+                                          admission=False)
+        assert on_result.arrivals == off_result.arrivals

@@ -1,0 +1,157 @@
+"""Generator determinism: a workload is a pure function of (spec, seed).
+
+The coordinate-keyed RNG discipline is the load-bearing property: every
+arrival count is keyed by its tick and every arrival's attributes by
+its global index, so no draw ever depends on what a consumer did with
+the previous one.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import TrafficError
+from repro.traffic import TrafficGenerator, TrafficSpec
+from repro.traffic.generator import (
+    APP_KINDS,
+    BANDWIDTH_BOUND,
+    MEMORY_BOUND,
+    SYNTHETIC,
+    ArrivalEvent,
+)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self, small_spec):
+        first = TrafficGenerator(small_spec, seed=5).events()
+        second = TrafficGenerator(small_spec, seed=5).events()
+        assert first == second
+        assert len(first) > 0
+
+    def test_different_seed_different_stream(self, small_spec):
+        first = TrafficGenerator(small_spec, seed=5).events()
+        second = TrafficGenerator(small_spec, seed=6).events()
+        assert first != second
+
+    def test_per_tick_queries_match_full_stream(self, small_spec):
+        """arrivals_at is coordinate-keyed: querying ticks out of
+        order, twice, or standalone yields the same stream."""
+        generator = TrafficGenerator(small_spec, seed=5)
+        full = generator.events()
+        rebuilt = []
+        for tick in reversed(range(small_spec.ticks)):
+            count_before = sum(1 for e in full if e.tick < tick)
+            rebuilt[:0] = generator.arrivals_at(
+                tick, first_index=count_before
+            )
+        assert rebuilt == full
+
+    def test_attributes_keyed_by_global_index(self, small_spec):
+        """Arrival #k has identical attributes under any rate shape
+        that still produces a #k (draw-count invariance)."""
+        calm = TrafficGenerator(small_spec, seed=5).events()
+        surged = TrafficGenerator(
+            replace(small_spec, load_multiplier=3.0), seed=5
+        ).events()
+        for event, other in zip(calm, surged):
+            # Same global index -> same identity, tier, session shape,
+            # application; only the landing tick may differ.
+            assert event.name == other.name
+            assert event.tier == other.tier
+            assert event.windows == other.windows
+            assert event.app_kind == other.app_kind
+            assert event.app_seed == other.app_seed
+
+
+class TestRateShapes:
+    def test_load_multiplier_scales_intensity(self, small_spec):
+        base = TrafficGenerator(small_spec, seed=5)
+        doubled = TrafficGenerator(
+            replace(small_spec, load_multiplier=2.0), seed=5
+        )
+        for tick in range(small_spec.ticks):
+            assert doubled.intensity(tick) == pytest.approx(
+                2.0 * base.intensity(tick)
+            )
+
+    def test_burst_multiplies_rate(self, small_spec):
+        generator = TrafficGenerator(
+            replace(small_spec, diurnal_amplitude=0.0), seed=5
+        )
+        burst = small_spec.bursts[0]
+        inside = generator.intensity(burst.start_tick)
+        outside = generator.intensity(burst.end_tick)
+        assert inside == pytest.approx(burst.multiplier * outside)
+
+    def test_mmpp_surges_above_poisson(self, small_spec):
+        spec = replace(small_spec, arrival_process="mmpp",
+                       mmpp_enter_surge=0.9, mmpp_exit_surge=0.05,
+                       ticks=40)
+        mmpp = TrafficGenerator(spec, seed=5)
+        poisson = TrafficGenerator(
+            replace(spec, arrival_process="poisson"), seed=5
+        )
+        surged = [tick for tick in range(spec.ticks)
+                  if mmpp.intensity(tick) > poisson.intensity(tick)]
+        assert surged, "chain never entered its surge state"
+        for tick in surged:
+            assert mmpp.intensity(tick) == pytest.approx(
+                spec.mmpp_surge_factor * poisson.intensity(tick)
+            )
+
+    def test_out_of_horizon_tick_rejected(self, small_spec):
+        generator = TrafficGenerator(small_spec, seed=5)
+        with pytest.raises(TrafficError, match="horizon"):
+            generator.arrivals_at(small_spec.ticks, first_index=0)
+
+
+class TestPopulation:
+    @pytest.fixture()
+    def stream(self, small_spec):
+        spec = replace(small_spec, ticks=60, arrivals_per_tick=2.0,
+                       app_pool_size=6)
+        return spec, TrafficGenerator(spec, seed=5).events()
+
+    def test_sessions_respect_bounds(self, stream):
+        spec, events = stream
+        for event in events:
+            assert (spec.session_windows_min <= event.windows
+                    <= spec.session_windows_max)
+        # Heavy tail: minimum-length sessions are the modal mass,
+        # and far longer ones still exist.
+        short = sum(1 for e in events
+                    if e.windows == spec.session_windows_min)
+        assert short > len(events) / 3
+        assert any(e.windows > 2 * spec.session_windows_min
+                   for e in events)
+
+    def test_all_tiers_and_app_kinds_appear(self, stream):
+        spec, events = stream
+        assert {e.tier for e in events} == {t.name for t in spec.tiers}
+        assert {e.app_kind for e in events} == set(APP_KINDS)
+        assert set(APP_KINDS) == {
+            SYNTHETIC, MEMORY_BOUND, BANDWIDTH_BOUND,
+        }
+
+    def test_tier_weights_shape_the_mix(self, stream):
+        spec, events = stream
+        by_tier = {t.name: sum(1 for e in events if e.tier == t.name)
+                   for t in spec.tiers}
+        # bronze (weight 3) should clearly outnumber gold (weight 1).
+        assert by_tier["bronze"] > by_tier["gold"]
+
+    def test_offered_windows_sums_stream(self, small_spec):
+        generator = TrafficGenerator(small_spec, seed=5)
+        assert generator.offered_windows() == sum(
+            e.windows for e in generator.events()
+        )
+
+
+class TestArrivalEvent:
+    def test_dict_round_trip(self, small_spec):
+        event = TrafficGenerator(small_spec, seed=5).events()[0]
+        assert ArrivalEvent.from_dict(event.to_dict()) == event
+
+    def test_malformed_dict_raises(self):
+        with pytest.raises(TrafficError, match="malformed arrival"):
+            ArrivalEvent.from_dict({"tick": 0, "name": "user-0"})

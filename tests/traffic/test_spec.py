@@ -1,0 +1,84 @@
+"""TrafficSpec/TierSpec/BurstSpec: validation and dict round-trips."""
+
+import pytest
+
+from repro.errors import ReproError, TrafficError
+from repro.traffic import BurstSpec, DEFAULT_TIERS, TierSpec, TrafficSpec
+
+
+class TestTierSpec:
+    def test_rejects_sub_unity_slo(self):
+        with pytest.raises(TrafficError, match="slo_slowdown"):
+            TierSpec(name="gold", priority=2, weight=1.0,
+                     slo_slowdown=0.9)
+
+    def test_rejects_non_positive_weight(self):
+        with pytest.raises(TrafficError, match="weight"):
+            TierSpec(name="gold", priority=2, weight=0.0,
+                     slo_slowdown=1.2)
+
+    def test_rejects_tiny_window(self):
+        with pytest.raises(TrafficError, match="window_tasks"):
+            TierSpec(name="gold", priority=2, weight=1.0,
+                     slo_slowdown=1.2, window_tasks=1)
+
+
+class TestBurstSpec:
+    def test_half_open_interval(self):
+        burst = BurstSpec(start_tick=4, end_tick=8, multiplier=2.0)
+        assert not burst.active_at(3)
+        assert burst.active_at(4)
+        assert burst.active_at(7)
+        assert not burst.active_at(8)
+
+    def test_rejects_empty_interval(self):
+        with pytest.raises(TrafficError, match="end_tick"):
+            BurstSpec(start_tick=4, end_tick=4, multiplier=2.0)
+
+
+class TestTrafficSpec:
+    def test_defaults_are_valid(self):
+        spec = TrafficSpec()
+        assert spec.tiers == DEFAULT_TIERS
+
+    @pytest.mark.parametrize("kwargs,match", [
+        ({"ticks": 0}, "ticks"),
+        ({"arrival_process": "bursty"}, "arrival process"),
+        ({"arrivals_per_tick": 0.0}, "arrivals_per_tick"),
+        ({"load_multiplier": -1.0}, "load_multiplier"),
+        ({"diurnal_amplitude": 1.0}, "diurnal_amplitude"),
+        ({"mmpp_enter_surge": 1.5}, "mmpp_enter_surge"),
+        ({"tiers": ()}, "at least one tier"),
+        ({"session_windows_min": 5, "session_windows_max": 4},
+         "session_windows_max"),
+        ({"app_pool_size": 0}, "app_pool_size"),
+    ])
+    def test_validation(self, kwargs, match):
+        with pytest.raises(TrafficError, match=match):
+            TrafficSpec(**kwargs)
+
+    def test_rejects_duplicate_tier_names(self):
+        tier = TierSpec(name="gold", priority=2, weight=1.0,
+                        slo_slowdown=1.2)
+        with pytest.raises(TrafficError, match="duplicate"):
+            TrafficSpec(tiers=(tier, tier))
+
+    def test_tier_lookup(self, small_spec):
+        assert small_spec.tier("gold").priority == 2
+        with pytest.raises(TrafficError, match="unknown tier"):
+            small_spec.tier("platinum")
+
+    def test_dict_round_trip(self, small_spec):
+        clone = TrafficSpec.from_dict(small_spec.to_dict())
+        assert clone == small_spec
+        assert clone.to_dict() == small_spec.to_dict()
+
+    def test_malformed_dict_is_structured_error(self, small_spec):
+        data = small_spec.to_dict()
+        del data["tiers"]
+        with pytest.raises(TrafficError, match="malformed traffic spec"):
+            TrafficSpec.from_dict(data)
+
+    def test_traffic_error_is_repro_error(self):
+        with pytest.raises(ReproError):
+            TrafficSpec(ticks=0)
