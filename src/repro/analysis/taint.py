@@ -291,6 +291,7 @@ SINK_CONSTRUCTORS: FrozenSet[str] = frozenset({
     "FleetReport", "ServeReport", "SessionReport", "FaultReport",
     "MemoryReport", "EnergyReport", "SoakScenario", "FleetSoakScenario",
     "SimulatedRunResult", "TraceEvent", "TrafficReport", "TrafficTrace",
+    "BlameMatrix", "BurnAlert",
 })
 
 

@@ -89,7 +89,29 @@ class FleetError(ReproError):
 
 class TrafficError(ReproError):
     """Raised by the workload layer (:mod:`repro.traffic`) for invalid
-    traffic specs, malformed traces, and open-loop driver misuse."""
+    traffic specs, malformed traces, and open-loop driver misuse.
+
+    ``flight_tail`` carries the observability flight recorder's last
+    events at the moment of the failure (empty when the recorder is
+    disabled), mirroring ``StallError``/``FaultReport`` so overload
+    aborts keep their pre-crash context.
+    """
+
+    def __init__(self, message: str,
+                 flight_tail: Sequence[Dict[str, Any]] = ()):
+        super().__init__(message)
+        self.flight_tail = tuple(dict(e) for e in flight_tail)
+
+    def diagnostic(self) -> str:
+        """Message plus the flight-recorder tail, one event per line."""
+        lines = [str(self)]
+        for entry in self.flight_tail:
+            fields = " ".join(
+                f"{k}={entry[k]}" for k in entry if k not in ("seq", "kind")
+            )
+            lines.append(f"  [{entry.get('seq')}] {entry.get('kind')}"
+                         f" {fields}".rstrip())
+        return "\n".join(lines)
 
 
 class AnalysisError(ReproError):

@@ -9,7 +9,7 @@ with the same seed (the property the fleet soak test and the CI
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
 from repro.serve.metrics import percentile
 from repro.fleet.tenant import FleetTenant
@@ -130,6 +130,12 @@ class FleetReport:
     surviving_p95_s: float
     surviving_p95_slowdown: float
     plan_cache: Mapping[str, int]
+    #: Blame-decomposition summary (``FleetConfig.attribution``); None
+    #: - and absent from the serialized form - when attribution is off.
+    attribution: Optional[Mapping[str, object]] = None
+    #: Burn-rate alert records (``FleetConfig.burn``); None when burn
+    #: alerting is off (an empty list means "armed, nothing burned").
+    alerts: Optional[Sequence[Mapping[str, object]]] = None
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -149,7 +155,7 @@ class FleetReport:
         """
         survivors = [m for m in self.tenants.values()
                      if m.status == "completed"]
-        return {
+        out: Dict[str, object] = {
             "seed": self.seed,
             "ticks": self.ticks,
             "n_shards": self.n_shards,
@@ -173,3 +179,8 @@ class FleetReport:
             "chaos_events": list(self.chaos_events),
             "plan_cache": dict(self.plan_cache),
         }
+        if self.attribution is not None:
+            out["attribution"] = dict(self.attribution)
+        if self.alerts is not None:
+            out["alerts"] = [dict(alert) for alert in self.alerts]
+        return out

@@ -38,6 +38,7 @@ from typing import Deque, Dict, List, Optional, Sequence, Tuple
 from repro.analysis.lock_order import checked_lock
 from repro.core.plan_cache import PlanCache
 from repro.errors import FleetError, ReproError
+from repro.obs.alerts import BurnRateEvaluator, BurnRateRule
 from repro.obs.metrics import metrics
 from repro.obs.recorder import recorder
 from repro.obs.tracer import tracer
@@ -112,6 +113,17 @@ class FleetConfig:
     failover: bool = True
     health: HealthConfig = field(default_factory=HealthConfig)
     breaker: BreakerConfig = field(default_factory=BreakerConfig)
+    #: Per-window interference blame decomposition on every shard
+    #: (:mod:`repro.obs.attribution`).  Off by default; the report only
+    #: grows an ``attribution`` key when on, so default bytes are
+    #: unchanged.
+    attribution: bool = False
+    #: Multi-window SLO burn-rate alerting per shard
+    #: (:mod:`repro.obs.alerts`).  None disables it; a burning shard
+    #: trips its breaker and fails over exactly like a sustained SLO
+    #: breach.  A window burns error budget when its measured latency
+    #: exceeds ``health.slo_factor`` times its isolated prediction.
+    burn: Optional[BurnRateRule] = None
 
     def __post_init__(self) -> None:
         if self.max_ticks < 1:
@@ -135,6 +147,7 @@ class FleetConfig:
             profiling_repetitions=self.profiling_repetitions,
             candidates_k=self.candidates_k,
             stall_timeout_s=self.stall_timeout_s,
+            attribution=self.attribution,
         )
 
 
@@ -209,6 +222,16 @@ class FleetRouter:
         self._shard_windows: Dict[str, int] = {
             shard.name: 0 for shard in self.shards
         }
+
+        #: Blame matrices harvested from the shards (attribution on).
+        self.blame_matrices: List[object] = []
+        self._burn = (BurnRateEvaluator(self.config.burn)
+                      if self.config.burn is not None else None)
+        #: Burn-rate alert records, in firing order (burn rule set).
+        self.burn_alerts: List[object] = []
+        #: Per-shard (good, bad) window outcomes of the current tick -
+        #: the burn evaluator's per-tick feed, cleared every tick.
+        self._tick_outcomes: Dict[str, List[int]] = {}
 
         self._heartbeat = Heartbeat(len(self.shards), "fleet-loop")
         self._watchdog = Watchdog(
@@ -350,6 +373,20 @@ class FleetRouter:
         for cache in self._caches:
             for key, value in cache.stats().items():
                 cache_stats[key] = cache_stats.get(key, 0) + value
+        attribution = None
+        if self.config.attribution:
+            from repro.obs.attribution import top_offenders
+
+            attribution = {
+                "windows": len(self.blame_matrices),
+                "attributed_total": round(sum(
+                    matrix.attributed for matrix in self.blame_matrices
+                ), 9),
+                "top_offenders": top_offenders(self.blame_matrices, 10),
+            }
+        alerts = None
+        if self.config.burn is not None:
+            alerts = [alert.to_dict() for alert in self.burn_alerts]
         return FleetReport(
             seed=self.seed,
             ticks=self.ticks_executed,
@@ -366,6 +403,8 @@ class FleetRouter:
             surviving_p95_slowdown=surviving_p95_slowdown(
                 self.tenants),
             plan_cache=cache_stats,
+            attribution=attribution,
+            alerts=alerts,
         )
 
     # ------------------------------------------------------------------
@@ -390,6 +429,9 @@ class FleetRouter:
 
     def _tick(self, tick: int) -> None:
         with tracer().span("fleet.tick", "fleet", tick=tick):
+            self._tick_outcomes = {
+                shard.name: [0, 0] for shard in self.shards
+            }
             self._apply_chaos(tick)
             self._heartbeat.check_cancelled()
             self._place_pending(tick)
@@ -397,6 +439,25 @@ class FleetRouter:
             self._step_shards(tick)
             self._harvest(tick)
             self._assess_health(tick)
+            self._emit_series(tick)
+
+    def _emit_series(self, tick: int) -> None:
+        """Per-tick time series: shard states, backlog, blame totals."""
+        reg = metrics()
+        if not reg.enabled:
+            return
+        for shard in self.shards:
+            reg.series_point(
+                f"fleet.shard_state.{shard.name}", tick,
+                float(SHARD_STATE_CODES[self.monitor.state(shard.name)]),
+            )
+        reg.series_point("fleet.backlog_depth", tick,
+                         float(len(self._backlog)))
+        if self.config.attribution:
+            attributed = sum(
+                matrix.attributed for matrix in self.blame_matrices
+            )
+            reg.series_point("blame.attributed_total", tick, attributed)
 
     def _drained(self) -> bool:
         with self._inbox_lock:
@@ -447,6 +508,7 @@ class FleetRouter:
         "shed": "fleet.shed",
         "breaker": "breaker.transitions",
         "reject": "fleet.rejects",
+        "burn_alert": "fleet.burn_alerts",
     }
 
     def _event(self, tick: int, event: str, **extra: object) -> None:
@@ -700,6 +762,18 @@ class FleetRouter:
                 "tick": tick, "tenant": name, "shard": shard.name,
                 "latency_s": latency, "isolated_s": isolated,
             })
+            if (self.config.attribution and record is not None
+                    and record.history
+                    and record.history[-1].blame is not None):
+                self.blame_matrices.append(record.history[-1].blame)
+            if self._burn is not None:
+                # A window burns error budget when it runs more than
+                # slo_factor over its contention-free prediction.
+                bad = (isolated > 0.0
+                       and latency > self.config.health.slo_factor
+                       * isolated)
+                self._tick_outcomes.setdefault(
+                    shard.name, [0, 0])[1 if bad else 0] += 1
         elif kind == "complete":
             tenant.status = COMPLETED
             tenant.shard = None
@@ -778,6 +852,30 @@ class FleetRouter:
                              f"at tick {tick}")
                     self.coordinator.failover(shard, tick, cause)
                     self.monitor.reset_slo(shard.name)
+
+            if self._burn is not None:
+                good, bad = self._tick_outcomes.get(shard.name, (0, 0))
+                alert = self._burn.observe(shard.name, tick,
+                                           int(good), int(bad))
+                if alert is not None:
+                    self.burn_alerts.append(alert)
+                    self._event(tick, "burn_alert", shard=shard.name,
+                                fast_burn=round(alert.fast_burn, 9),
+                                slow_burn=round(alert.slow_burn, 9))
+                    # A burning shard fails over exactly like a
+                    # sustained SLO breach: trip the breaker, hand the
+                    # shard to the coordinator, clear the burn window.
+                    if breaker.state == CLOSED and not newly_dead:
+                        trip = breaker.trip(tick)
+                        if trip is not None:
+                            self._event(tick, "breaker",
+                                        shard=shard.name,
+                                        frm=trip[0], to=trip[1])
+                        if self.config.failover:
+                            cause = (f"burn-rate alert on {shard.name} "
+                                     f"at tick {tick}")
+                            self.coordinator.failover(shard, tick, cause)
+                            self._burn.reset(shard.name)
 
             beating = shard.alive and health.beat_seen
             advance = breaker.advance(tick, beating)

@@ -27,7 +27,7 @@ gap the acceptance test asserts is strictly positive.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Tuple
+from typing import Optional, Tuple
 
 from repro.apps.synthetic import build_synthetic_application
 from repro.errors import FleetError
@@ -43,6 +43,7 @@ from repro.fleet.health import HealthConfig
 from repro.fleet.metrics import FleetReport
 from repro.fleet.router import FleetConfig, FleetRouter
 from repro.fleet.shard import ShardSpec
+from repro.obs.alerts import BurnRateRule
 
 #: PU classes browned out on the degraded shard (all of pixel7a's, so
 #: the shard-local rescheduler has nowhere to flee).
@@ -134,7 +135,9 @@ class FleetSoakScenario:
 
 
 def build_fleet(scenario: FleetSoakScenario,
-                failover: bool = True) -> FleetRouter:
+                failover: bool = True,
+                attribution: bool = False,
+                burn: Optional[BurnRateRule] = None) -> FleetRouter:
     """A fully-loaded fleet, ready to :meth:`~FleetRouter.run`.
 
     Tenants cycle through three lifetimes (8/18/28 windows - the short
@@ -159,6 +162,8 @@ def build_fleet(scenario: FleetSoakScenario,
                 slo_factor=scenario.slo_factor,
                 slo_breach_ticks=scenario.slo_breach_ticks,
             ),
+            attribution=attribution,
+            burn=burn,
         ),
         chaos=scenario.chaos(),
     )
@@ -186,8 +191,16 @@ def run_fleet_soak(
     scenario: FleetSoakScenario,
     failover: bool = True,
     timeout_s: float = 600.0,
+    attribution: bool = False,
+    burn: Optional[BurnRateRule] = None,
 ) -> Tuple[FleetRouter, FleetReport]:
-    """Build, run, and drain one fleet soak; returns (router, report)."""
-    router = build_fleet(scenario, failover=failover)
+    """Build, run, and drain one fleet soak; returns (router, report).
+
+    ``attribution``/``burn`` arm per-window blame decomposition and
+    per-shard burn-rate alerting (both off by default, so the chaos
+    soak's byte-diff arms are unchanged; ``repro top`` turns both on).
+    """
+    router = build_fleet(scenario, failover=failover,
+                         attribution=attribution, burn=burn)
     report = router.run(timeout_s=timeout_s)
     return router, report

@@ -2,13 +2,32 @@
 
 One deterministic event spine across every layer (profiler, solver,
 autotuner, DES runtime, threaded back-end, serving), with exporters to
-Chrome/Perfetto trace JSON and the ASCII Gantt.  All instruments are
-disabled by default; wrap a scope in :func:`capture` to record.
+Chrome/Perfetto trace JSON and the ASCII Gantt.  On top of the spine:
+per-window interference blame decomposition (:mod:`~repro.obs.
+attribution`), bounded per-tick time series (:mod:`~repro.obs.
+timeseries`) and multi-window SLO burn-rate alerts (:mod:`~repro.obs.
+alerts`).  All instruments are disabled by default; wrap a scope in
+:func:`capture` to record.
 """
 
+from repro.obs.alerts import BurnAlert, BurnRateEvaluator, BurnRateRule
+from repro.obs.attribution import (
+    BlameMatrix,
+    BlameShare,
+    ChunkLoad,
+    decompose,
+    steady_interval,
+    top_offenders,
+)
 from repro.obs.export import chrome_trace, export_gantt, write_trace
-from repro.obs.metrics import MetricsRegistry, metrics, set_metrics
+from repro.obs.metrics import (
+    MetricsRegistry,
+    metrics,
+    percentile,
+    set_metrics,
+)
 from repro.obs.recorder import FlightRecorder, recorder, set_recorder
+from repro.obs.timeseries import TimeSeriesStore
 from repro.obs.tracer import (
     CONTROL,
     ROOT,
@@ -25,19 +44,30 @@ __all__ = [
     "CONTROL",
     "ROOT",
     "VIRTUAL",
+    "BlameMatrix",
+    "BlameShare",
+    "BurnAlert",
+    "BurnRateEvaluator",
+    "BurnRateRule",
     "Capture",
+    "ChunkLoad",
     "FlightRecorder",
     "MetricsRegistry",
+    "TimeSeriesStore",
     "TraceEvent",
     "Tracer",
     "capture",
     "chrome_trace",
+    "decompose",
     "export_gantt",
     "metrics",
+    "percentile",
     "recorder",
     "set_metrics",
     "set_recorder",
     "set_tracer",
+    "steady_interval",
+    "top_offenders",
     "tracer",
     "write_trace",
 ]

@@ -19,11 +19,25 @@ summaries derive only from the observed values (no wall time).
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.obs.timeseries import TimeSeriesStore
 
 
-def _percentile(samples: List[float], q: float) -> float:
-    """Linear-interpolation percentile (same scheme as serve.metrics)."""
+def percentile(samples: Sequence[float], q: float) -> float:
+    """Canonical linear-interpolation percentile (numpy's default).
+
+    The single implementation behind every report quantile
+    (``serve.metrics.percentile`` re-raises its errors as
+    ``ServeError`` for its callers).  Raises a structured
+    :class:`~repro.errors.ReproError` on an empty sample set or an
+    out-of-range ``q`` rather than returning a silent sentinel.
+    """
+    if not samples:
+        raise ReproError("percentile of an empty sample set")
+    if not 0.0 <= q <= 100.0:
+        raise ReproError(f"percentile q={q} out of [0, 100]")
     ordered = sorted(samples)
     if len(ordered) == 1:
         return ordered[0]
@@ -32,6 +46,10 @@ def _percentile(samples: List[float], q: float) -> float:
     hi = min(lo + 1, len(ordered) - 1)
     frac = rank - lo
     return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+
+# Backwards-compatible module-private alias (pre-dedup name).
+_percentile = percentile
 
 
 class MetricsRegistry:
@@ -48,13 +66,23 @@ class MetricsRegistry:
         self._counters: Dict[str, float] = {}
         self._gauges: Dict[str, float] = {}
         self._histograms: Dict[str, List[float]] = {}
+        # Lazily created on the first series_point so registries that
+        # never record a series stay exactly as cheap (and snapshot to
+        # exactly the same bytes) as before.
+        self._series: Optional[TimeSeriesStore] = None
 
-    def counter(self, name: str, value: float = 1) -> None:
-        """Add ``value`` (default 1) to the monotonic counter ``name``."""
+    def counter(self, name: str, value: float = 1) -> Optional[float]:
+        """Add ``value`` (default 1) to the monotonic counter ``name``.
+
+        Returns the new total (None when disabled) so tick loops can
+        mirror counters into per-tick time series without re-reading.
+        """
         if not self.enabled:
-            return
+            return None
         with self._lock:
-            self._counters[name] = self._counters.get(name, 0) + value
+            total = self._counters.get(name, 0) + value
+            self._counters[name] = total
+            return total
 
     def gauge(self, name: str, value: float) -> None:
         """Set the last-write-wins gauge ``name`` to ``value``."""
@@ -69,6 +97,22 @@ class MetricsRegistry:
             return
         with self._lock:
             self._histograms.setdefault(name, []).append(value)
+
+    def series_point(self, name: str, tick: int, value: float) -> None:
+        """Append one ``(tick, value)`` point to the time series
+        ``name`` (bounded per series; see :mod:`repro.obs.timeseries`)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            if self._series is None:
+                self._series = TimeSeriesStore()
+            store = self._series
+        store.point(name, tick, value)
+
+    @property
+    def series(self) -> Optional[TimeSeriesStore]:
+        """The time-series store, if any points were recorded."""
+        return self._series
 
     def snapshot(self) -> Dict[str, Any]:
         """Deterministic summary of everything recorded so far."""
@@ -88,9 +132,14 @@ class MetricsRegistry:
                 "min": min(values),
                 "max": max(values),
                 "mean": sum(values) / len(values),
-                "p50": _percentile(values, 50.0),
-                "p95": _percentile(values, 95.0),
+                "p50": percentile(values, 50.0),
+                "p95": percentile(values, 95.0),
             }
+        # Conditional so registries without series snapshot to the same
+        # bytes as before the store existed.
+        store = self._series
+        if store is not None and len(store) > 0:
+            summary["series"] = store.snapshot()
         return summary
 
 

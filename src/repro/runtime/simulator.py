@@ -743,6 +743,43 @@ class SimulatedPipelineExecutor:
             )
         return costs
 
+    def attribution_inputs(self) -> tuple:
+        """Steady-state per-chunk load aggregates for blame decomposition.
+
+        One :class:`~repro.obs.attribution.ChunkLoad` per chunk server:
+        overheads and work times sum over the chunk's stages;
+        memory-boundedness and bandwidth demand are work-time-weighted
+        means, the same time-average the rate machinery applies phase by
+        phase.  Pure derived data - calling this neither touches engine
+        state nor costs anything when attribution is off (nobody calls
+        it).
+        """
+        from repro.obs.attribution import ChunkLoad
+
+        loads = []
+        for server in self._servers:
+            overhead = sum(c.overhead_s for c in server.stage_costs)
+            work = sum(c.work_s for c in server.stage_costs)
+            if work > 0.0:
+                beta = sum(
+                    c.memory_boundedness * c.work_s
+                    for c in server.stage_costs
+                ) / work
+                demand = sum(
+                    c.demand_gbps * c.work_s for c in server.stage_costs
+                ) / work
+            else:
+                beta = 0.0
+                demand = 0.0
+            loads.append(ChunkLoad(
+                pu_class=server.chunk.pu_class,
+                overhead_s=overhead,
+                work_s=work,
+                memory_boundedness=beta,
+                demand_gbps=demand,
+            ))
+        return tuple(loads)
+
     # ------------------------------------------------------------------
     def _noise_scale(self, task_id: int, stage: int) -> float:
         key = (task_id, stage)

@@ -8,32 +8,28 @@ test asserts by comparing serialized reports).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence
 
-from repro.errors import ServeError
+from repro.errors import ReproError, ServeError
+from repro.obs.metrics import percentile as _canonical_percentile
 from repro.serve.tenant import TenantRecord
 
 
 def percentile(samples: Sequence[float], q: float) -> float:
-    """Linear-interpolation percentile (numpy's default method),
-    implemented in pure python so reports never depend on an optional
-    import being present."""
-    if not samples:
-        raise ServeError("percentile of an empty sample set")
-    if not 0.0 <= q <= 100.0:
-        raise ServeError(f"percentile q={q} out of [0, 100]")
-    ordered = sorted(samples)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (q / 100.0) * (len(ordered) - 1)
-    low = math.floor(rank)
-    high = math.ceil(rank)
-    if low == high:
-        return ordered[low]
-    weight = rank - low
-    return ordered[low] * (1.0 - weight) + ordered[high] * weight
+    """Linear-interpolation percentile (numpy's default method).
+
+    Thin shim over the canonical :func:`repro.obs.metrics.percentile`
+    (one implementation, identical values), narrowing its structured
+    errors to :class:`~repro.errors.ServeError` for this layer's
+    callers.
+    """
+    try:
+        return _canonical_percentile(samples, q)
+    except ServeError:
+        raise
+    except ReproError as exc:
+        raise ServeError(str(exc)) from None
 
 
 def attainment(samples: Sequence[float], slo: float) -> float:
@@ -125,6 +121,10 @@ class ServeReport:
     tenants: Mapping[str, TenantMetrics]
     timeline: Sequence[Mapping[str, object]]
     plan_cache: Mapping[str, int]
+    #: Blame decomposition summary (``ServerConfig.attribution``);
+    #: None - and absent from the serialized form - when attribution
+    #: is off, so default report bytes are unchanged.
+    attribution: Optional[Mapping[str, object]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Stable dict for :func:`repro.serialization.write_json_report`.
@@ -132,7 +132,7 @@ class ServeReport:
         Keys are emitted in sorted tenant order so two runs with the
         same seed serialize byte-identically.
         """
-        return {
+        out: Dict[str, object] = {
             "platform": self.platform,
             "seed": self.seed,
             "ticks": self.ticks,
@@ -144,6 +144,9 @@ class ServeReport:
             "timeline": list(self.timeline),
             "plan_cache": dict(self.plan_cache),
         }
+        if self.attribution is not None:
+            out["attribution"] = dict(self.attribution)
+        return out
 
 
 def fleet_p95(metrics: Mapping[str, TenantMetrics]) -> float:

@@ -125,6 +125,13 @@ class ServerConfig:
     profiling_repetitions: int = 3
     candidates_k: int = 8
     stall_timeout_s: float = 60.0
+    #: Per-window interference blame decomposition
+    #: (:mod:`repro.obs.attribution`).  Off by default: attribution
+    #: replays the steady-state rate model per (window, source) pair,
+    #: so uninstrumented runs must not pay for it - and reports only
+    #: grow an ``attribution`` key when it is on, keeping default
+    #: report bytes unchanged.
+    attribution: bool = False
 
     def __post_init__(self) -> None:
         if self.max_ticks < 1:
@@ -410,7 +417,28 @@ class PipelineServer:
             },
             timeline=list(self.timeline),
             plan_cache=self.plan_cache.stats(),
+            attribution=self._attribution_summary(),
         )
+
+    def _attribution_summary(self) -> Optional[Dict[str, object]]:
+        """Blame matrices harvested from tenant histories (None when
+        attribution is off, so default report bytes stay unchanged)."""
+        if not self.config.attribution:
+            return None
+        from repro.obs.attribution import top_offenders
+
+        per_tenant: Dict[str, object] = {}
+        matrices = []
+        for name in sorted(self.records):
+            blames = [w.blame for w in self.records[name].history
+                      if w.blame is not None]
+            if blames:
+                per_tenant[name] = [b.to_dict() for b in blames]
+                matrices.extend(blames)
+        return {
+            "tenants": per_tenant,
+            "top_offenders": top_offenders(matrices, k=5),
+        }
 
     # ------------------------------------------------------------------
     # Request loop (single thread; owns all serving state)
@@ -507,7 +535,10 @@ class PipelineServer:
         if reg.enabled:
             counter = self._ADMISSION_COUNTERS.get(event)
             if counter is not None:
-                reg.counter(counter)
+                total = reg.counter(counter)
+                # Cumulative per-tick series of every admission /
+                # reschedule counter (bounded ring per series).
+                reg.series_point(counter, tick, total or 0.0)
             if event == "window":
                 reg.observe("serve.window_latency_s",
                             float(extra["latency_s"]))
@@ -607,21 +638,35 @@ class PipelineServer:
             running.items(), key=lambda kv: kv[1].admission_order
         ))
 
-    def _external_for(self, name: str, tick: int) -> ExternalLoad:
-        """Everything tenant ``name`` sees on the SoC besides itself."""
-        loads = []
+    def _external_sources(
+        self, name: str, tick: int,
+    ) -> List[tuple]:
+        """Per-source external loads tenant ``name`` sees, labelled.
+
+        Ordered deterministically - co-tenants in admission order (the
+        ``_running()`` order), then active drifts in injection order -
+        so both the combined load *and* any blame decomposition built
+        from the pairs are pure functions of the seeded run.
+        """
+        sources: List[tuple] = []
         for other, record in self._running().items():
             if other == name:
                 continue
             assert record.plan is not None and record.schedule is not None
-            loads.append(tenant_offered_load(
+            sources.append((other, tenant_offered_load(
                 record.spec.application, record.plan.isolated,
                 record.schedule, self.platform,
-            ))
-        for drift in self._drifts:
+            )))
+        for index, drift in enumerate(self._drifts):
             if drift.active_at(tick):
-                loads.append(drift.load())
-        return ExternalLoad.combined(loads)
+                sources.append((f"drift:{index}", drift.load()))
+        return sources
+
+    def _external_for(self, name: str, tick: int) -> ExternalLoad:
+        """Everything tenant ``name`` sees on the SoC besides itself."""
+        return ExternalLoad.combined(
+            load for _, load in self._external_sources(name, tick)
+        )
 
     def _serve_windows(self, tick: int) -> None:
         """Serve one window per running tenant, as one simulator batch.
@@ -639,7 +684,10 @@ class PipelineServer:
             assert (record.plan is not None
                     and record.schedule is not None)
             try:
-                external = self._external_for(name, tick)
+                sources = self._external_sources(name, tick)
+                external = ExternalLoad.combined(
+                    load for _, load in sources
+                )
                 executor = SimulatedPipelineExecutor(
                     record.spec.application,
                     record.schedule.chunks(),
@@ -650,23 +698,25 @@ class PipelineServer:
             except ReproError as error:
                 self._fail_tenant(tick, name, record, error)
                 continue
-            batch.append((name, record, external, SimWindow(
+            batch.append((name, record, external, sources, SimWindow(
                 executor, record.spec.window_tasks, record_trace=True,
             )))
         if not batch:
             return
         outcomes = simulate_batch(
-            [entry[3] for entry in batch], collect_errors=True,
+            [entry[4] for entry in batch], collect_errors=True,
         )
-        for (name, record, external, _), outcome in zip(batch, outcomes):
+        for (name, record, external, sources, window), outcome in zip(
+                batch, outcomes):
             try:
                 with tracer().span("serve.window", "serve",
                                    tenant=name, tick=tick,
                                    window=record.windows_done):
                     if outcome.error is not None:
                         raise outcome.error
-                    self._finish_window(tick, name, record,
-                                        external, outcome.result)
+                    self._finish_window(tick, name, record, external,
+                                        outcome.result, sources,
+                                        window.executor)
             except ReproError as error:
                 self._fail_tenant(tick, name, record, error)
 
@@ -680,16 +730,33 @@ class PipelineServer:
 
     def _finish_window(self, tick: int, name: str,
                        record: TenantRecord,
-                       external: ExternalLoad, result) -> None:
+                       external: ExternalLoad, result,
+                       sources: Optional[List[tuple]] = None,
+                       executor=None) -> None:
         measured = result.steady_interval_s
         regime = self.rescheduler.classify(record, measured)
         record.windows_done += 1
+        blame = None
+        if (self.config.attribution and sources is not None
+                and executor is not None and record.plan is not None):
+            from repro.obs.attribution import decompose
+
+            isolated = record.plan.isolated_prediction(record.schedule)
+            blame = decompose(
+                tenant=name,
+                window_index=record.windows_done - 1,
+                slowdown=measured / isolated if isolated > 0.0 else 1.0,
+                chunks=executor.attribution_inputs(),
+                platform=self.platform,
+                sources=sources,
+            )
         record.history.append(WindowResult(
             window_index=record.windows_done - 1,
             schedule=record.schedule,
             measured_latency_s=measured,
             external_busy_classes=sorted(external.busy),
             regime=regime,
+            blame=blame,
         ))
         self._event(tick, "window", name,
                     window=record.windows_done - 1,

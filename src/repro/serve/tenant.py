@@ -88,6 +88,10 @@ class WindowResult:
     external_busy_classes: List[str]
     rescheduled: bool = False
     regime: str = "isolated"  # closer to isolated or interference profile
+    #: Interference blame decomposition of this window's slowdown
+    #: (:class:`repro.obs.attribution.BlameMatrix`); only populated when
+    #: the server runs with ``attribution=True``.
+    blame: Optional[object] = None
 
 
 @dataclass

@@ -174,6 +174,24 @@ class ExternalLoad:
             busy=busy, demand_gbps=self.demand_gbps + other.demand_gbps
         )
 
+    def compute_only(self) -> "ExternalLoad":
+        """This load with its DRAM demand stripped (busy kept).
+
+        Counterfactual input for blame decomposition: comparing against
+        the full load isolates how much slowdown the source's
+        *bandwidth* contention contributes.
+        """
+        return ExternalLoad(busy=dict(self.busy), demand_gbps=0.0)
+
+    def bandwidth_only(self) -> "ExternalLoad":
+        """This load with its busy fractions stripped (demand kept).
+
+        Counterfactual input for blame decomposition: comparing against
+        the full load isolates the source's *compute* contention (DVFS
+        co-load plus same-class time-sharing).
+        """
+        return ExternalLoad(busy={}, demand_gbps=self.demand_gbps)
+
     @classmethod
     def none(cls) -> "ExternalLoad":
         return cls()

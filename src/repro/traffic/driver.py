@@ -25,7 +25,7 @@ admission policies.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.apps.synthetic import (
     build_bandwidth_bound_application,
@@ -34,7 +34,9 @@ from repro.apps.synthetic import (
 from repro.errors import TrafficError
 from repro.fleet.router import FleetRouter
 from repro.fleet.metrics import FleetReport
+from repro.obs.alerts import BurnAlert, BurnRateEvaluator, BurnRateRule
 from repro.obs.metrics import metrics
+from repro.obs.recorder import recorder
 from repro.obs.tracer import tracer
 from repro.serve.scenario import _memory_bound_application
 from repro.serve.tenant import PENDING, TenantSpec
@@ -61,8 +63,12 @@ def materialize(event: ArrivalEvent, stage_count: int) -> TenantSpec:
             seed=event.app_seed, stage_count=stage_count,
         )
     else:
+        # The flight tail rides on the error so a failed replay of a
+        # hand-edited trace shows the events leading up to the bad kind
+        # (same diagnostic convention as StallError/FaultReport).
         raise TrafficError(
-            f"unknown application kind {event.app_kind!r}"
+            f"unknown application kind {event.app_kind!r}",
+            flight_tail=recorder().tail(32),
         )
     return TenantSpec(
         name=event.name,
@@ -96,6 +102,10 @@ class TrafficRunResult:
     #: Per-tick trajectory: arrivals, served windows, SLO-attaining
     #: window-tasks (goodput), and fleet backlog depth.
     per_tick: List[Dict[str, object]] = field(default_factory=list)
+    #: Per-tier burn-rate alerts (``OpenLoopDriver(burn=...)``); None
+    #: when burn alerting was off for the run (an empty list means
+    #: "armed, nothing burned").
+    burn_alerts: Optional[List[BurnAlert]] = None
 
 
 class OpenLoopDriver:
@@ -108,26 +118,45 @@ class OpenLoopDriver:
         ticks: int,
         stage_count: int = 3,
         slo_by_tier: Optional[Dict[str, float]] = None,
+        burn: Optional[BurnRateRule] = None,
     ):
         if ticks < 1:
-            raise TrafficError("driver needs at least one tick")
+            raise TrafficError(
+                "driver needs at least one tick",
+                flight_tail=recorder().tail(32),
+            )
         self.router = router
         self.ticks = ticks
         self.stage_count = stage_count
         #: tier name -> largest attaining slowdown (for the per-tick
         #: goodput trajectory; the full report recomputes from samples).
         self.slo_by_tier = dict(slo_by_tier or {})
+        #: Per-tier burn-rate alerting over window attainment; off by
+        #: default so the default soak's report bytes are unchanged.
+        self._burn = (BurnRateEvaluator(burn)
+                      if burn is not None else None)
         self._by_tick: Dict[int, List[ArrivalEvent]] = {}
         for event in events:
             if event.tick >= ticks:
                 continue
             self._by_tick.setdefault(event.tick, []).append(event)
 
-    def run(self) -> TrafficRunResult:
-        """Drive the fleet over the horizon and harvest the outcome."""
+    def run(
+        self,
+        on_tick: Optional[Callable[[Dict[str, object]], None]] = None,
+    ) -> TrafficRunResult:
+        """Drive the fleet over the horizon and harvest the outcome.
+
+        ``on_tick`` (when given) observes each completed tick's
+        trajectory entry as it lands - the hook ``repro top --watch``
+        renders from.  It runs on the deterministic tick clock and must
+        not mutate the entry.
+        """
         router = self.router
         router.open_stepped()
         result = TrafficRunResult(ticks=self.ticks)
+        if self._burn is not None:
+            result.burn_alerts = []
         window_cursor = 0
         reg = metrics()
         trc = tracer()
@@ -151,6 +180,11 @@ class OpenLoopDriver:
 
                 served = 0
                 goodput_tasks = 0
+                #: tier -> [attained, missed] windows this tick (the
+                #: burn evaluator's per-tick outcome feed).
+                tier_outcomes: Dict[str, List[int]] = {
+                    tier: [0, 0] for tier in sorted(self.slo_by_tier)
+                }
                 while window_cursor < len(router.window_log):
                     entry = router.window_log[window_cursor]
                     window_cursor += 1
@@ -175,6 +209,10 @@ class OpenLoopDriver:
                                 and slowdown <= slo)
                     if attained:
                         goodput_tasks += arrival.window_tasks
+                    if slo is not None:
+                        outcome = tier_outcomes.setdefault(
+                            arrival.tier, [0, 0])
+                        outcome[0 if attained else 1] += 1
                     if reg.enabled:
                         reg.counter("traffic.served_windows")
                         if attained:
@@ -190,13 +228,40 @@ class OpenLoopDriver:
                 )
                 if reg.enabled:
                     reg.gauge("traffic.backlog_depth", float(backlog))
-                result.per_tick.append({
+                    reg.series_point("traffic.backlog_depth", tick,
+                                     float(backlog))
+                    reg.series_point("traffic.arrivals", tick,
+                                     float(len(arrivals)))
+                    reg.series_point("traffic.served_windows", tick,
+                                     float(served))
+                    reg.series_point("traffic.goodput_tasks", tick,
+                                     float(goodput_tasks))
+                if self._burn is not None:
+                    for tier in sorted(tier_outcomes):
+                        good, bad = tier_outcomes[tier]
+                        alert = self._burn.observe(
+                            tier, tick, good, bad)
+                        if alert is not None:
+                            result.burn_alerts.append(alert)
+                            if trc.enabled:
+                                trc.instant(
+                                    "traffic.burn_alert", "traffic",
+                                    track=f"tier:{tier}", tick=tick,
+                                    fast_burn=round(
+                                        alert.fast_burn, 9),
+                                    slow_burn=round(
+                                        alert.slow_burn, 9),
+                                )
+                entry = {
                     "tick": tick,
                     "arrivals": len(arrivals),
                     "served_windows": served,
                     "goodput_tasks": goodput_tasks,
                     "backlog": backlog,
-                })
+                }
+                result.per_tick.append(entry)
+                if on_tick is not None:
+                    on_tick(entry)
         finally:
             # The detail only lands on tenants still non-terminal at
             # close; a drained fleet ignores it.

@@ -28,6 +28,7 @@ from repro.errors import TrafficError
 from repro.fleet.health import HealthConfig
 from repro.fleet.router import FleetConfig, FleetRouter
 from repro.fleet.shard import ShardSpec
+from repro.obs.alerts import BurnRateRule
 from repro.traffic.driver import OpenLoopDriver, TrafficRunResult
 from repro.traffic.generator import TrafficGenerator
 from repro.traffic.slo import TrafficReport, evaluate
@@ -112,8 +113,14 @@ class FleetOverloadScenario:
         """The same scenario at a different offered-load multiple."""
         return replace(self, load_multiplier=multiplier)
 
-    def build_fleet(self, admission: bool = True) -> FleetRouter:
-        """A fresh fleet for one run of this scenario."""
+    def build_fleet(self, admission: bool = True,
+                    attribution: bool = False) -> FleetRouter:
+        """A fresh fleet for one run of this scenario.
+
+        ``attribution`` turns on per-window blame decomposition on
+        every shard (off by default - the soak's byte-diff arms run
+        without it; ``repro top`` runs with it).
+        """
         ratio = (self.admission_max_impact_ratio if admission
                  else self.admit_everything_ratio)
         return FleetRouter(
@@ -134,6 +141,7 @@ class FleetOverloadScenario:
                 max_partition_classes=1,
                 backlog_patience=self.backlog_patience,
                 health=HealthConfig(),
+                attribution=attribution,
             ),
         )
 
@@ -142,12 +150,18 @@ def run_overload_soak(
     scenario: FleetOverloadScenario,
     admission: bool = True,
     trace: Optional[TrafficTrace] = None,
+    attribution: bool = False,
+    burn: Optional[BurnRateRule] = None,
+    on_tick=None,
 ) -> Tuple[TrafficRunResult, TrafficReport]:
     """One open-loop run: generate (or replay), drive, evaluate.
 
     With ``trace`` set, the frozen stream replaces the generator and
     the trace's own spec/seed govern evaluation - replaying a recorded
     trace therefore reproduces the recorded run byte-identically.
+    ``attribution``/``burn`` arm blame decomposition and per-tier
+    burn-rate alerting (both off by default; ``repro top`` turns both
+    on); ``on_tick`` observes each tick's trajectory entry live.
     """
     if trace is not None:
         spec, seed = trace.spec, trace.seed
@@ -155,14 +169,16 @@ def run_overload_soak(
     else:
         spec, seed = scenario.spec(), scenario.seed
         events = TrafficGenerator(spec, seed=seed).events()
-    router = scenario.build_fleet(admission=admission)
+    router = scenario.build_fleet(admission=admission,
+                                  attribution=attribution)
     driver = OpenLoopDriver(
         router, events, ticks=spec.ticks,
         stage_count=spec.stage_count,
         slo_by_tier={tier.name: tier.slo_slowdown
                      for tier in spec.tiers},
+        burn=burn,
     )
-    result = driver.run()
+    result = driver.run(on_tick=on_tick)
     return result, evaluate(spec, seed, result)
 
 

@@ -114,12 +114,19 @@ class TrafficReport:
     tiers: Mapping[str, TierSummary]
     recoveries: Sequence[BurstRecovery]
     per_tick: Sequence[Mapping[str, object]]
+    #: Blame-decomposition summary lifted from the fleet report
+    #: (``FleetConfig.attribution``); None - and absent from the
+    #: serialized form - when attribution was off for the run.
+    attribution: Optional[Mapping[str, object]] = None
+    #: Burn-rate alerts, fleet (per-shard) and traffic (per-tier)
+    #: merged; None when no burn rule was armed anywhere.
+    alerts: Optional[Sequence[Mapping[str, object]]] = None
 
     def to_dict(self) -> Dict[str, object]:
         """Stable dict for :func:`repro.serialization.write_json_report`
         (sorted tier order, rounded ratios - byte-identical across
         repeated seeded runs)."""
-        return {
+        out: Dict[str, object] = {
             "seed": self.seed,
             "ticks": self.ticks,
             "n_shards": self.n_shards,
@@ -139,6 +146,11 @@ class TrafficReport:
             "recoveries": [r.to_dict() for r in self.recoveries],
             "per_tick": [dict(entry) for entry in self.per_tick],
         }
+        if self.attribution is not None:
+            out["attribution"] = dict(self.attribution)
+        if self.alerts is not None:
+            out["alerts"] = [dict(alert) for alert in self.alerts]
+        return out
 
 
 def _tier_summary(tier_name: str, slo: float,
@@ -219,6 +231,17 @@ def evaluate(spec: TrafficSpec, seed: int,
         )
 
     statuses = [m.status for m in report.tenants.values()]
+    # Merge burn alerts from both clocks' evaluators - the fleet's
+    # per-shard alerts and the driver's per-tier alerts - into one
+    # tick-ordered stream; None only when neither rule was armed.
+    alerts: Optional[List[Dict[str, object]]] = None
+    if report.alerts is not None or result.burn_alerts is not None:
+        merged: List[Dict[str, object]] = [
+            dict(alert) for alert in (report.alerts or ())
+        ]
+        merged.extend(a.to_dict() for a in (result.burn_alerts or ()))
+        merged.sort(key=lambda a: (int(a["tick"]), str(a["key"])))  # type: ignore[arg-type]
+        alerts = merged
     return TrafficReport(
         seed=seed,
         ticks=result.ticks,
@@ -238,4 +261,6 @@ def evaluate(spec: TrafficSpec, seed: int,
         tiers=tiers,
         recoveries=_recoveries(spec, result.per_tick),
         per_tick=list(result.per_tick),
+        attribution=report.attribution,
+        alerts=alerts,
     )

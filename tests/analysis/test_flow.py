@@ -273,6 +273,9 @@ class TestFixtures:
         for finding in report.findings:
             name = Path(finding.path).name
             by_file.setdefault(name, []).append(finding.rule_id)
+        assert sorted(by_file["bad_attribution.py"]) == [
+            "FLOW-WALL-CLOCK",
+        ]
         assert sorted(by_file["bad_clocks.py"]) == [
             "CLOCK-CALL", "CLOCK-CALL", "CLOCK-MIX", "CLOCK-MIX",
         ]
@@ -301,7 +304,7 @@ class TestFixtures:
     def test_report_shape(self, report):
         data = report.to_dict()
         assert data["tool"] == "repro-flow"
-        assert data["files_checked"] == 6
+        assert data["files_checked"] == 7
         assert not data["clean"]
         assert sum(data["counts"].values()) == len(report.findings)
 

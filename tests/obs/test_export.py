@@ -133,6 +133,74 @@ class TestExportGantt:
         assert "empty" in export_gantt(trc.events)
 
 
+class TestEmptyAndZeroEventTracks:
+    """Exports must stay well-formed when a capture saw nothing, or
+    when a track exists with no renderable events (a fleet-soak tenant
+    that never got a window leaves exactly this shape behind)."""
+
+    def test_empty_capture_chrome_trace(self):
+        import repro.obs as obs
+
+        with obs.capture() as cap:
+            snapshot = cap.metrics.snapshot()
+        payload = chrome_trace(cap.events, snapshot)
+        assert [e["ph"] for e in payload["traceEvents"]] == ["M", "M"]
+        assert payload["otherData"]["metrics"] == snapshot
+        json.dumps(payload)
+
+    def test_empty_capture_gantt(self):
+        import repro.obs as obs
+
+        with obs.capture() as cap:
+            pass
+        assert "empty" in export_gantt(cap.events)
+
+    def test_instant_only_track_has_no_spans_but_exports(self):
+        # A tenant that never gets a window contributes arrival
+        # instants on its tier track and nothing else.
+        trc = Tracer(enabled=True)
+        trc.instant("traffic.arrival", "traffic",
+                    track="tier:gold", tenant="starved")
+        payload = chrome_trace(trc.events)
+        data = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+        assert [e["ph"] for e in data] == ["i"]
+        threads = {
+            e["args"]["name"] for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "tier:gold" in threads
+        json.dumps(payload)
+
+    def test_instant_only_track_gantt_is_empty(self):
+        trc = Tracer(enabled=True)
+        trc.instant("traffic.arrival", "traffic",
+                    track="tier:gold", tenant="starved")
+        assert "empty" in export_gantt(trc.events)
+
+    def test_mixed_served_and_starved_tenants(self):
+        # One tenant has real windows, the other only an admission
+        # instant: the chart renders the served one and the starved
+        # tenant simply contributes no rows (no crash, no ghost row).
+        trc = Tracer(enabled=True)
+        trc.instant("traffic.arrival", "traffic",
+                    track="tier:gold", tenant="starved")
+        trc.emit_virtual_spans(
+            [record_span(0, "big", 0, 0.0, 1.0, tenant="served")],
+            total_s=1.0,
+        )
+        text = export_gantt(trc.events, width=20)
+        assert "tenant served:" in text
+        assert "starved" not in text
+        payload = chrome_trace(trc.events)
+        json.dumps(payload)
+
+    def test_empty_metrics_snapshot_embeds(self):
+        reg = MetricsRegistry(enabled=True)
+        payload = chrome_trace([], reg.snapshot())
+        assert "series" not in payload["otherData"]["metrics"]
+        json.dumps(payload)
+
+
 class TestWriteTrace:
     def test_written_file_is_valid_json(self, tmp_path):
         trc, _, _ = traced()

@@ -1,0 +1,98 @@
+"""The bounded time-series store and its MetricsRegistry integration."""
+
+import pytest
+
+import repro.obs as obs
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeseries import TimeSeriesStore
+
+
+class TestStore:
+    def test_points_round_trip_in_order(self):
+        store = TimeSeriesStore()
+        for tick in range(5):
+            store.point("a", tick, float(tick) * 2.0)
+        assert store.series("a") == [(0, 0.0), (1, 2.0), (2, 4.0),
+                                     (3, 6.0), (4, 8.0)]
+
+    def test_capacity_bounds_each_series(self):
+        store = TimeSeriesStore(capacity_per_series=3)
+        for tick in range(10):
+            store.point("a", tick, 1.0)
+        assert len(store.series("a")) == 3
+        assert store.series("a")[0][0] == 7
+
+    def test_unknown_series_is_empty(self):
+        assert TimeSeriesStore().series("ghost") == []
+
+    def test_names_sorted(self):
+        store = TimeSeriesStore()
+        store.point("z", 0, 1.0)
+        store.point("a", 0, 1.0)
+        assert store.names() == ["a", "z"]
+
+    def test_window_query_is_half_open(self):
+        store = TimeSeriesStore()
+        for tick in range(6):
+            store.point("a", tick, float(tick))
+        window = store.window("a", 2, 5)
+        assert [t for t, _ in window] == [2, 3, 4]
+
+    def test_snapshot_is_json_shaped_and_sorted(self):
+        store = TimeSeriesStore()
+        store.point("b", 0, 1.0)
+        store.point("a", 0, 2.0)
+        snap = store.snapshot()
+        assert list(snap) == ["a", "b"]
+        assert snap["a"] == [[0, 2.0]]
+
+    def test_len_counts_series(self):
+        store = TimeSeriesStore()
+        store.point("a", 0, 1.0)
+        store.point("a", 1, 1.0)
+        store.point("b", 0, 1.0)
+        assert len(store) == 2
+
+
+class TestRegistryIntegration:
+    def test_disabled_registry_drops_points(self):
+        reg = MetricsRegistry(enabled=False)
+        reg.series_point("x", 0, 1.0)
+        assert reg.series is None
+
+    def test_enabled_registry_collects_points(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.series_point("x", 0, 1.0)
+        reg.series_point("x", 1, 2.0)
+        assert reg.series is not None
+        assert reg.series.series("x") == [(0, 1.0), (1, 2.0)]
+
+    def test_snapshot_series_key_is_conditional(self):
+        reg = MetricsRegistry(enabled=True)
+        reg.counter("hits")
+        assert "series" not in reg.snapshot()
+        reg.series_point("x", 0, 1.0)
+        assert reg.snapshot()["series"] == {"x": [[0, 1.0]]}
+
+    def test_counter_returns_running_total(self):
+        reg = MetricsRegistry(enabled=True)
+        assert reg.counter("hits") == 1.0
+        assert reg.counter("hits", 2.0) == 3.0
+
+    def test_disabled_counter_returns_none(self):
+        reg = MetricsRegistry(enabled=False)
+        assert reg.counter("hits") is None
+
+
+class TestCaptureExport:
+    def test_series_ride_in_the_chrome_trace(self):
+        with obs.capture() as cap:
+            reg = obs.metrics()
+            reg.series_point("fleet.backlog_depth", 0, 3.0)
+            reg.series_point("fleet.backlog_depth", 1, 1.0)
+            snapshot = cap.metrics.snapshot()
+        trace = obs.chrome_trace(cap.events, snapshot)
+        metrics_blob = trace["otherData"]["metrics"]
+        assert metrics_blob["series"]["fleet.backlog_depth"] == [
+            [0, 3.0], [1, 1.0],
+        ]
